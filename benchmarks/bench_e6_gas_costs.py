@@ -1,0 +1,187 @@
+"""E6 — membership gas costs (§III-A adjustment 1 and §IV-A).
+
+Reproduced claims:
+
+* one registration in the ordered-list contract costs ~40k gas;
+* batch insertion amortises the 21k base transaction cost towards ~20k
+  per member;
+* the Semaphore baseline's on-chain tree pays O(log N) storage writes per
+  insertion *and* per deletion — and deletions "cannot be necessarily
+  batched together" because they hit random leaves.
+"""
+
+import pytest
+
+from repro.analysis.reporting import ExperimentReport
+from repro.chain.blockchain import Blockchain, WEI
+from repro.chain.rln_contract import RLNMembershipContract
+from repro.chain.semaphore_contract import SemaphoreContract
+from repro.crypto.identity import Identity
+
+
+def fresh_chain(contract):
+    chain = Blockchain()
+    chain.deploy(contract)
+    chain.fund("payer", 10_000 * WEI)
+    return chain
+
+
+def register_rln(chain, contract, identity):
+    tx = chain.send_transaction(
+        "payer",
+        contract.address,
+        "register",
+        {"pk": identity.pk.value},
+        value=contract.deposit,
+        calldata=identity.pk.to_bytes(),
+        gas_limit=5_000_000,
+    )
+    chain.mine_block()
+    return chain.receipt(tx)
+
+
+def test_single_registration_gas(benchmark, report_sink):
+    contract = RLNMembershipContract(deposit=1 * WEI)
+    chain = fresh_chain(contract)
+    receipt = register_rln(chain, contract, Identity.from_secret(1))
+    assert receipt.success
+    assert 35_000 <= receipt.gas_used <= 55_000  # the paper's ~40k
+
+    report = ExperimentReport(
+        experiment="E6",
+        claim="membership gas: ~40k single, ~20k batched, O(log N) for Semaphore (§IV-A)",
+        headers=("operation", "contract", "gas per member"),
+    )
+    report.add_row("register x1", "RLN ordered list", receipt.gas_used)
+
+    # Batched registrations.
+    for batch in (8, 32, 64):
+        pks = [Identity.from_secret(1000 * batch + i).pk.value for i in range(batch)]
+        tx = chain.send_transaction(
+            "payer",
+            contract.address,
+            "register_batch",
+            {"pks": pks},
+            value=batch * contract.deposit,
+            calldata=b"\x22" * 32 * batch,
+            gas_limit=50_000_000,
+        )
+        chain.mine_block()
+        batch_receipt = chain.receipt(tx)
+        assert batch_receipt.success
+        report.add_row(
+            f"register x{batch} (batch)",
+            "RLN ordered list",
+            round(batch_receipt.gas_used / batch),
+        )
+
+    # Semaphore on-chain tree at two depths.
+    for depth in (16, 20, 24):
+        semaphore = SemaphoreContract(address=f"semaphore{depth}", tree_depth=depth)
+        sem_chain = fresh_chain(semaphore)
+        tx = sem_chain.send_transaction(
+            "payer",
+            semaphore.address,
+            "register",
+            {"pk": Identity.from_secret(depth).pk.value},
+            value=semaphore.deposit,
+            calldata=b"\x33" * 32,
+            gas_limit=5_000_000,
+        )
+        sem_chain.mine_block()
+        sem_receipt = sem_chain.receipt(tx)
+        assert sem_receipt.success
+        report.add_row("register x1", f"Semaphore tree depth {depth}", sem_receipt.gas_used)
+
+    # Deletion comparison: RLN O(1) vs Semaphore O(depth).
+    spammer = Identity.from_secret(424242)
+    register_rln(chain, contract, spammer)
+    from repro.crypto.commitments import commit
+
+    commitment, opening = commit(spammer.sk.to_bytes(), b"payer")
+    chain.send_transaction(
+        "payer", contract.address, "slash_commit", {"digest": commitment.digest}
+    )
+    chain.mine_block()
+    tx = chain.send_transaction(
+        "payer",
+        contract.address,
+        "slash_reveal",
+        {"sk": spammer.sk.value, "nonce": opening.nonce},
+        gas_limit=5_000_000,
+    )
+    chain.mine_block()
+    slash_receipt = chain.receipt(tx)
+    assert slash_receipt.success
+    report.add_row("delete (slash reveal)", "RLN ordered list", slash_receipt.gas_used)
+
+    semaphore = SemaphoreContract(address="semaphore-del", tree_depth=20)
+    sem_chain = fresh_chain(semaphore)
+    sem_chain.send_transaction(
+        "payer",
+        semaphore.address,
+        "register",
+        {"pk": Identity.from_secret(777).pk.value},
+        value=semaphore.deposit,
+        gas_limit=5_000_000,
+    )
+    sem_chain.mine_block()
+    tx = sem_chain.send_transaction(
+        "payer", semaphore.address, "remove", {"index": 0}, gas_limit=5_000_000
+    )
+    sem_chain.mine_block()
+    sem_delete = sem_chain.receipt(tx)
+    assert sem_delete.success
+    report.add_row("delete", "Semaphore tree depth 20", sem_delete.gas_used)
+    report.add_note("paper: 40k single -> ~20k batched; tree ops logarithmic in group size")
+    report_sink(report)
+
+    # Benchmark the registration execution path.
+    def one_registration():
+        contract_b = RLNMembershipContract(
+            address=f"rln-bench-{id(object())}", deposit=1 * WEI
+        )
+        chain_b = Blockchain()
+        chain_b.deploy(contract_b)
+        chain_b.fund("payer", 10 * WEI)
+        chain_b.send_transaction(
+            "payer",
+            contract_b.address,
+            "register",
+            {"pk": Identity.from_secret(5).pk.value},
+            value=1 * WEI,
+        )
+        chain_b.mine_block()
+
+    benchmark.pedantic(one_registration, rounds=3, iterations=1)
+
+
+def test_batching_does_not_help_deletions(report_sink, benchmark):
+    """§III-A: deletions hit random leaves, so each Semaphore deletion pays
+    the full O(depth) path — there is nothing to amortise."""
+    semaphore = SemaphoreContract(address="semaphore-rand", tree_depth=20)
+    chain = fresh_chain(semaphore)
+    members = [Identity.from_secret(9000 + i) for i in range(8)]
+    for member in members:
+        chain.send_transaction(
+            "payer",
+            semaphore.address,
+            "register",
+            {"pk": member.pk.value},
+            value=semaphore.deposit,
+            gas_limit=5_000_000,
+        )
+    chain.mine_block()
+    deletion_costs = []
+    for index in (6, 1, 4):  # scattered leaves
+        tx = chain.send_transaction(
+            "payer", semaphore.address, "remove", {"index": index}, gas_limit=5_000_000
+        )
+        chain.mine_block()
+        receipt = chain.receipt(tx)
+        assert receipt.success
+        deletion_costs.append(receipt.gas_used)
+    # Every deletion pays roughly the same full-path cost.
+    assert max(deletion_costs) < 1.2 * min(deletion_costs)
+    assert min(deletion_costs) > 20 * 5_000  # ~one write per level
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

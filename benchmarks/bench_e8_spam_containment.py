@@ -1,0 +1,196 @@
+"""E8 — spam containment: RLN vs PoW vs peer scoring vs no defence (§I, §IV).
+
+For each arm the same question: a spammer wants to flood; how much spam
+reaches honest applications, what does honest traffic suffer, and what
+does the attack cost the attacker?
+
+Reproduced qualitative results (the paper's §I critique):
+
+* **none** — everything floods;
+* **PoW** — a server-class spammer floods anyway, and the difficulty that
+  would stop it prices phones out of messaging entirely;
+* **peer scoring** — bots get graylisted but free identity rotation keeps
+  spam flowing (cost: zero stake);
+* **RLN** — at most one message per epoch escapes, the spammer is slashed
+  (cost: the full deposit) and permanently removed.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.reporting import ExperimentReport
+from repro.baselines.botnet import SPAM_PREFIX, BotArmy
+from repro.baselines.plain_peer import PlainRelayPeer
+from repro.baselines.pow import PoWRelayPeer, expected_mint_seconds
+from repro.chain.blockchain import WEI
+from repro.core.config import RLNConfig
+from repro.core.deployment import RLNDeployment
+from repro.net.latency import ConstantLatency
+from repro.net.simulator import Simulator
+from repro.net.topology import random_regular
+from repro.net.transport import Network
+
+PEERS = 16
+SPAM_TARGET = 30  # messages the spammer tries to land
+ATTACK_SECONDS = 120.0
+
+
+def spam_received(peers) -> int:
+    return sum(
+        sum(1 for m in p.received if m.payload.startswith(SPAM_PREFIX))
+        for p in peers.values()
+    )
+
+
+def arm_none() -> dict:
+    sim = Simulator()
+    graph = random_regular(PEERS, 4, seed=81)
+    network = Network(simulator=sim, graph=graph, latency=ConstantLatency(0.03), rng=random.Random(81))
+    peers = {
+        n: PlainRelayPeer(n, network, sim, rng=random.Random(81 + i))
+        for i, n in enumerate(sorted(graph.nodes))
+    }
+    for p in peers.values():
+        p.start()
+    sim.run(3.0)
+    for i in range(SPAM_TARGET):
+        peers["peer-000"].publish(SPAM_PREFIX + b"%d" % i)
+        sim.run(sim.now + ATTACK_SECONDS / SPAM_TARGET)
+    sim.run(sim.now + 5)
+    return {
+        "arm": "no defence",
+        "spam_delivered": spam_received(peers),
+        "attacker_cost": "0",
+        "spammer_removed": "no",
+    }
+
+
+def arm_pow() -> dict:
+    sim = Simulator()
+    graph = random_regular(PEERS, 4, seed=82)
+    network = Network(simulator=sim, graph=graph, latency=ConstantLatency(0.03), rng=random.Random(82))
+    difficulty = 16
+    peers = {}
+    for i, n in enumerate(sorted(graph.nodes)):
+        rate = 1e8 if n == "peer-000" else 1e5  # the spammer owns a server
+        peers[n] = PoWRelayPeer(
+            n, network, sim, difficulty=difficulty, hash_rate=rate, rng=random.Random(82 + i)
+        )
+        peers[n].start()
+    sim.run(3.0)
+    for i in range(SPAM_TARGET):
+        peers["peer-000"].publish(SPAM_PREFIX + b"%d" % i)
+        sim.run(sim.now + ATTACK_SECONDS / SPAM_TARGET)
+    sim.run(sim.now + 10)
+    honest_mint = expected_mint_seconds(difficulty, 1e5)
+    return {
+        "arm": f"PoW (difficulty {difficulty})",
+        "spam_delivered": spam_received(peers),
+        "attacker_cost": f"{expected_mint_seconds(difficulty, 1e8) * SPAM_TARGET:.2f}s CPU",
+        "spammer_removed": "no",
+        "honest_burden": f"{honest_mint:.2f}s mint per phone message",
+    }
+
+
+def arm_scoring() -> dict:
+    sim = Simulator()
+    graph = random_regular(PEERS, 4, seed=83)
+    network = Network(simulator=sim, graph=graph, latency=ConstantLatency(0.03), rng=random.Random(83))
+    rng = random.Random(7)
+    classifier = lambda m: m.payload.startswith(SPAM_PREFIX) and rng.random() < 0.6
+    peers = {
+        n: PlainRelayPeer(
+            n, network, sim, enable_scoring=True, classifier=classifier, rng=random.Random(83 + i)
+        )
+        for i, n in enumerate(sorted(graph.nodes))
+    }
+    for p in peers.values():
+        p.start()
+    sim.run(3.0)
+    army = BotArmy(
+        network=network,
+        simulator=sim,
+        targets=sorted(peers)[:6],
+        send_interval=ATTACK_SECONDS / SPAM_TARGET / 2,
+        messages_before_rotation=10,
+        rng=random.Random(84),
+    )
+    army.launch(bot_count=1)
+    sim.run(sim.now + ATTACK_SECONDS)
+    army.halt()
+    return {
+        "arm": "peer scoring + bot army",
+        "spam_delivered": spam_received(peers),
+        "attacker_cost": f"{army.stats.bots_spawned} free identities",
+        "spammer_removed": f"{army.stats.bots_retired} graylisted, all replaced",
+    }
+
+
+def arm_rln() -> dict:
+    config = RLNConfig(epoch_length=30.0, max_epoch_gap=2, tree_depth=8)
+    dep = RLNDeployment.create(
+        peer_count=PEERS, degree=4, seed=85, config=config, latency=ConstantLatency(0.03)
+    )
+    dep.register_all()
+    dep.form_meshes(5.0)
+    spammer = dep.peer("peer-000")
+    deposit_eth = dep.contract.deposit / WEI
+    sent = 0
+    for i in range(SPAM_TARGET):
+        try:
+            spammer.publish(SPAM_PREFIX + b"%d" % i, force=True)
+            sent += 1
+        except Exception:
+            break  # slashed out of the group
+        dep.run(ATTACK_SECONDS / SPAM_TARGET)
+    dep.run(6 * dep.chain.block_interval)
+    honest_peers = {n: p for n, p in dep.peers.items() if n != "peer-000"}
+    return {
+        "arm": "WAKU-RLN-RELAY",
+        "spam_delivered": spam_received(honest_peers),
+        "attacker_cost": f"{deposit_eth:.0f} ETH slashed",
+        "spammer_removed": "yes" if not dep.contract.is_member(spammer.identity.pk) else "no",
+        "messages_attempted": sent,
+    }
+
+
+@pytest.fixture(scope="module")
+def results():
+    return [arm_none(), arm_pow(), arm_scoring(), arm_rln()]
+
+
+def test_spam_containment_table(results, report_sink, benchmark):
+    report = ExperimentReport(
+        experiment="E8",
+        claim="spam containment across defences (§I critique + §IV security)",
+        headers=("defence", "spam delivered to apps", "attacker cost", "spammer removed"),
+    )
+    for row in results:
+        report.add_row(
+            row["arm"], row["spam_delivered"], row["attacker_cost"], row["spammer_removed"]
+        )
+    pow_row = next(r for r in results if r["arm"].startswith("PoW"))
+    report.add_note(f"PoW honest burden: {pow_row['honest_burden']}")
+    report.add_note(
+        "expected ordering: none >= PoW(server spammer) > scoring(bot army) >> RLN"
+    )
+    report_sink(report)
+
+    none_row = next(r for r in results if r["arm"] == "no defence")
+    scoring_row = next(r for r in results if "scoring" in r["arm"])
+    rln_row = next(r for r in results if r["arm"] == "WAKU-RLN-RELAY")
+
+    # The paper's ordering claims:
+    assert none_row["spam_delivered"] >= SPAM_TARGET * (PEERS - 1)  # full flood
+    assert pow_row["spam_delivered"] >= SPAM_TARGET * (PEERS - 1) * 0.9  # rich spammer floods
+    assert scoring_row["spam_delivered"] > 0  # rotation defeats scoring
+    # RLN: at most one message per epoch escaped; with 30 s epochs over a
+    # 2-minute attack that is <= ~5 epochs' worth of messages.
+    assert rln_row["spam_delivered"] <= 6 * (PEERS - 1)
+    assert rln_row["spam_delivered"] < scoring_row["spam_delivered"] or (
+        rln_row["spam_delivered"] <= 2 * (PEERS - 1)
+    )
+    assert rln_row["spammer_removed"] == "yes"
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

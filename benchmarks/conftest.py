@@ -1,0 +1,31 @@
+"""Shared benchmark utilities.
+
+Every benchmark prints an :class:`ExperimentReport` reproducing the
+corresponding rows of the paper's evaluation (EXPERIMENTS.md records
+paper-vs-measured).  Reports are also appended to
+``benchmarks/reports/<experiment>.txt`` so the tables survive pytest's
+output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis.reporting import ExperimentReport
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    REPORT_DIR.mkdir(exist_ok=True)
+
+    def sink(report: ExperimentReport) -> None:
+        rendered = report.render()
+        print("\n" + rendered)
+        path = REPORT_DIR / f"{report.experiment}.txt"
+        path.write_text(rendered + "\n", encoding="utf-8")
+
+    return sink

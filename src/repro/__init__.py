@@ -1,0 +1,36 @@
+"""WAKU-RLN-RELAY reproduction — privacy-preserving p2p economic spam protection.
+
+A full-system, from-scratch Python reproduction of:
+
+    Taheri-Boshrooyeh, Thorén, Whitehat, Koh, Kilic, Gurkan.
+    "WAKU-RLN-RELAY: Privacy-Preserving Peer-to-Peer Economic Spam
+    Protection." ICDCS 2022. arXiv:2207.00117.
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.crypto`    — field, Poseidon, Merkle trees, Shamir, identities
+* :mod:`repro.zksnark`   — R1CS, the RLN circuit, simulated Groth16, setup
+* :mod:`repro.chain`     — blockchain simulator, gas, membership contracts
+* :mod:`repro.net`       — event simulator, clocks, latency, topologies
+* :mod:`repro.gossipsub` — GossipSub router, gossip, peer scoring
+* :mod:`repro.waku`      — 11/RELAY, 13/STORE, 12/FILTER, message format
+* :mod:`repro.core`      — the WAKU-RLN-RELAY protocol itself
+* :mod:`repro.baselines` — PoW and bot-army baselines the paper critiques
+* :mod:`repro.analysis`  — experiment metrics and report formatting
+
+Quickstart::
+
+    from repro.core import RLNDeployment
+
+    deployment = RLNDeployment.create(peer_count=10, seed=1)
+    deployment.register_all()
+    deployment.form_meshes()
+    deployment.peers["peer-000"].publish(b"hello waku")
+    deployment.run(2.0)
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import RLNConfig, RLNDeployment, WakuRLNRelayPeer
+
+__all__ = ["RLNConfig", "RLNDeployment", "WakuRLNRelayPeer", "__version__"]

@@ -1,0 +1,27 @@
+"""Experiment metrics and report rendering."""
+
+from repro.analysis.metrics import (
+    DeliveryTracker,
+    LatencySummary,
+    SpamContainment,
+    mean,
+    spam_containment,
+)
+from repro.analysis.reporting import (
+    ExperimentReport,
+    format_bytes,
+    format_seconds,
+    format_table,
+)
+
+__all__ = [
+    "DeliveryTracker",
+    "LatencySummary",
+    "SpamContainment",
+    "mean",
+    "spam_containment",
+    "ExperimentReport",
+    "format_bytes",
+    "format_seconds",
+    "format_table",
+]

@@ -1,0 +1,26 @@
+"""Baseline spam defences the paper compares against (§I, experiment E8)."""
+
+from repro.baselines.pow import (
+    PoWRelayPeer,
+    PoWStamp,
+    expected_mint_seconds,
+    mint,
+    sample_attempts,
+    verify,
+)
+from repro.baselines.plain_peer import PlainRelayPeer, SpamClassifier
+from repro.baselines.botnet import SPAM_PREFIX, BotArmy, BotArmyStats
+
+__all__ = [
+    "PoWRelayPeer",
+    "PoWStamp",
+    "expected_mint_seconds",
+    "mint",
+    "sample_attempts",
+    "verify",
+    "PlainRelayPeer",
+    "SpamClassifier",
+    "SPAM_PREFIX",
+    "BotArmy",
+    "BotArmyStats",
+]

@@ -1,0 +1,42 @@
+"""Blockchain substrate: chain simulator, gas metering, membership contracts."""
+
+from repro.chain.blockchain import (
+    COINBASE,
+    DEFAULT_BLOCK_INTERVAL,
+    DEFAULT_GAS_LIMIT,
+    WEI,
+    Blockchain,
+    CallContext,
+    Contract,
+    Event,
+    Receipt,
+    Transaction,
+)
+from repro.chain.gas import GasMeter, calldata_gas, intrinsic_gas
+from repro.chain.rln_contract import (
+    DEFAULT_DEPOSIT,
+    MemberSlot,
+    RLNMembershipContract,
+)
+from repro.chain.semaphore_contract import SemaphoreContract, StoredSignal
+
+__all__ = [
+    "COINBASE",
+    "DEFAULT_BLOCK_INTERVAL",
+    "DEFAULT_GAS_LIMIT",
+    "WEI",
+    "Blockchain",
+    "CallContext",
+    "Contract",
+    "Event",
+    "Receipt",
+    "Transaction",
+    "GasMeter",
+    "calldata_gas",
+    "intrinsic_gas",
+    "DEFAULT_DEPOSIT",
+    "MemberSlot",
+    "RLNMembershipContract",
+    "SemaphoreContract",
+    "StoredSignal",
+]

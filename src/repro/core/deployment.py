@@ -1,0 +1,191 @@
+"""Deployment harness: assemble a full WAKU-RLN-RELAY network in one call.
+
+Examples, integration tests and the network-scale benchmarks all need the
+same scaffolding — an event simulator, a chain with the membership contract
+and a mining ticker, a peer topology, a transport, and one
+:class:`~repro.core.protocol.WakuRLNRelayPeer` per node, all sharing one
+trusted setup.  :class:`RLNDeployment` builds it.
+
+>>> deployment = RLNDeployment.create(peer_count=10, seed=7)   # doctest: +SKIP
+>>> deployment.register_all()
+>>> deployment.run(5.0)                      # let meshes form
+>>> deployment.peers["peer-000"].publish(b"hello")
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.chain.blockchain import Blockchain, DEFAULT_BLOCK_INTERVAL, WEI
+from repro.chain.rln_contract import RLNMembershipContract
+from repro.core.config import RLNConfig
+from repro.core.protocol import WakuRLNRelayPeer
+from repro.errors import ProtocolError, RegistrationError
+from repro.gossipsub.router import GossipSubParams
+from repro.gossipsub.scoring import ScoreParams
+from repro.net.clock import DriftModel, PeerClock
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net.simulator import Simulator
+from repro.net.topology import random_regular
+from repro.net.transport import Network
+from repro.zksnark.prover import RLNProver, shared_prover
+
+
+@dataclass
+class RLNDeployment:
+    """A fully wired network plus its substrates."""
+
+    simulator: Simulator
+    chain: Blockchain
+    contract: RLNMembershipContract
+    graph: nx.Graph
+    network: Network
+    peers: dict[str, WakuRLNRelayPeer]
+    config: RLNConfig
+    prover: RLNProver
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        peer_count: int = 20,
+        *,
+        degree: int = 6,
+        seed: int = 0,
+        config: RLNConfig | None = None,
+        graph: nx.Graph | None = None,
+        latency: LatencyModel | None = None,
+        drift: DriftModel | None = None,
+        gossip_params: GossipSubParams | None = None,
+        score_params: ScoreParams | None = None,
+        enable_scoring: bool = False,
+        block_interval: float = DEFAULT_BLOCK_INTERVAL,
+        funding_wei: int = 100 * WEI,
+        auto_slash: bool = True,
+        start: bool = True,
+    ) -> "RLNDeployment":
+        """Build the whole stack; peers are started but not yet registered."""
+        config = config or RLNConfig()
+        rng = random.Random(seed)
+        simulator = Simulator()
+        chain = Blockchain(block_interval=block_interval)
+        contract = RLNMembershipContract(deposit=config.deposit)
+        chain.deploy(contract)
+        # Keep chain time in lockstep with simulated time (two ticks per
+        # block interval so mining lands promptly after the boundary).
+        simulator.every(block_interval / 2, lambda: chain.advance_time(simulator.now))
+
+        if graph is None:
+            if (peer_count * degree) % 2:
+                degree += 1
+            graph = random_regular(peer_count, degree, seed=seed)
+        network = Network(
+            simulator=simulator,
+            graph=graph,
+            latency=latency or ConstantLatency(0.05),
+            rng=random.Random(seed + 1),
+        )
+        prover = shared_prover(config.tree_depth, config.prover_backend)
+        drift = drift or DriftModel(0.0)
+        peers: dict[str, WakuRLNRelayPeer] = {}
+        for peer_id in sorted(graph.nodes):
+            chain.fund(peer_id, funding_wei)
+            clock = PeerClock(
+                offset=drift.sample_offset(rng), genesis_unix=config.genesis_unix
+            )
+            peers[peer_id] = WakuRLNRelayPeer(
+                peer_id,
+                network=network,
+                simulator=simulator,
+                chain=chain,
+                contract=contract,
+                config=config,
+                prover=prover,
+                clock=clock,
+                gossip_params=gossip_params,
+                score_params=score_params,
+                enable_scoring=enable_scoring,
+                auto_slash=auto_slash,
+                rng=random.Random(seed + 2 + len(peers)),
+            )
+        deployment = cls(
+            simulator=simulator,
+            chain=chain,
+            contract=contract,
+            graph=graph,
+            network=network,
+            peers=peers,
+            config=config,
+            prover=prover,
+            rng=rng,
+        )
+        if start:
+            deployment.start_all()
+        return deployment
+
+    # -- operation --------------------------------------------------------------------
+
+    def start_all(self) -> None:
+        for peer in self.peers.values():
+            peer.start()
+
+    def run(self, seconds: float) -> None:
+        """Advance simulated time (processing all due events)."""
+        self.simulator.run(self.simulator.now + seconds)
+
+    def register_all(
+        self, peer_ids: list[str] | None = None, *, settle: bool = True
+    ) -> None:
+        """Register the given peers (default: all) and mine them in."""
+        targets = (
+            list(self.peers.values())
+            if peer_ids is None
+            else [self.peer(p) for p in peer_ids]
+        )
+        for peer in targets:
+            if peer.identity is None:
+                peer.create_identity()
+            peer.request_registration()
+        if settle:
+            # One block to mine the registrations, a little margin for the
+            # event-driven tree sync.
+            self.run(self.chain.block_interval * 1.5)
+            for peer in targets:
+                if not peer.registered:
+                    raise RegistrationError(
+                        f"{peer.peer_id} failed to register "
+                        f"(tx {peer._registration_tx})"
+                    )
+
+    def form_meshes(self, seconds: float | None = None) -> None:
+        """Run long enough for GossipSub heartbeats to build the meshes."""
+        params = next(iter(self.peers.values())).relay.router.params
+        self.run(seconds if seconds is not None else 3 * params.heartbeat_interval)
+
+    # -- access ------------------------------------------------------------------------
+
+    def peer(self, peer_id: str) -> WakuRLNRelayPeer:
+        try:
+            return self.peers[peer_id]
+        except KeyError:
+            raise ProtocolError(f"no peer named {peer_id!r}") from None
+
+    def peer_ids(self) -> list[str]:
+        return sorted(self.peers)
+
+    # -- measurements ----------------------------------------------------------------------
+
+    def delivery_count(self, msg_payload: bytes) -> int:
+        """How many peers received a given payload."""
+        return sum(
+            any(m.payload == msg_payload for m in peer.received)
+            for peer in self.peers.values()
+        )
+
+    def total_spam_detected(self) -> int:
+        return sum(p.stats.spam_detected for p in self.peers.values())

@@ -1,0 +1,168 @@
+"""Off-chain group management: the §III-C tree-sync protocol.
+
+Each peer maintains the identity-commitment Merkle tree locally, rebuilding
+the contract's ordered list into a tree and applying its events:
+
+* ``MemberRegistered``  -> append the commitment at the announced index,
+* ``MemberSlashed`` / ``MemberWithdrawn`` -> zero the announced leaf.
+
+"Publishing peers must always stay in sync with the latest state of the
+group" (§III-C) — :meth:`GroupManager.assert_synced` cross-checks the local
+root against a rebuild from the contract list, and the validator side keeps
+a window of recent roots so proofs generated one event behind still verify.
+
+The manager also implements the hybrid architecture of §IV-A: it produces
+:class:`~repro.crypto.optimized_merkle.TreeUpdate` announcements that
+storage-limited peers running :class:`OptimizedMerkleView` consume instead
+of holding the tree.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.chain.blockchain import Blockchain, Event
+from repro.chain.rln_contract import RLNMembershipContract
+from repro.crypto.field import FieldElement, ZERO
+from repro.crypto.merkle import MerkleProof, MerkleTree
+from repro.crypto.optimized_merkle import TreeUpdate
+from repro.errors import NotRegistered, SyncError
+
+
+class GroupManager:
+    """One peer's locally maintained view of the membership group."""
+
+    def __init__(
+        self,
+        chain: Blockchain,
+        contract: RLNMembershipContract,
+        *,
+        tree_depth: int = 20,
+        root_window: int = 5,
+    ) -> None:
+        self.chain = chain
+        self.contract = contract
+        self.tree = MerkleTree(depth=tree_depth)
+        self._recent_roots: deque[FieldElement] = deque(maxlen=root_window)
+        self._recent_roots.append(self.tree.root)
+        self._index_of_pk: dict[int, int] = {}
+        self._update_listeners: list[Callable[[TreeUpdate], None]] = []
+        self._bootstrap()
+        self._unsubscribe = chain.subscribe(self._on_event)
+
+    def close(self) -> None:
+        self._unsubscribe()
+
+    # -- bootstrap & events -----------------------------------------------------
+
+    def _bootstrap(self) -> None:
+        """Sync a freshly joined peer from the contract's current list.
+
+        Deleted members appear as zero slots; they must still occupy their
+        index so every live member's tree position matches the contract.
+        """
+        leaves = [FieldElement(pk) for pk in self.contract.commitment_list()]
+        if not leaves:
+            return
+        self.tree = MerkleTree.from_leaves(leaves, depth=self.tree.depth)
+        for index, leaf in enumerate(leaves):
+            if leaf != ZERO:
+                self._index_of_pk[leaf.value] = index
+        self._recent_roots.clear()
+        self._recent_roots.append(self.tree.root)
+
+    def _on_event(self, event: Event) -> None:
+        if event.contract != self.contract.address:
+            return
+        if event.name == "MemberRegistered":
+            self._insert_at(event.data["index"], FieldElement(event.data["pk"]))
+        elif event.name in ("MemberSlashed", "MemberWithdrawn"):
+            self._delete_at(event.data["index"])
+
+    def _insert_at(self, index: int, pk: FieldElement) -> None:
+        if index < self.tree.leaf_count:
+            return  # already applied (bootstrap overlapped with live events)
+        if index != self.tree.leaf_count:
+            raise SyncError(
+                f"registration event index {index} skips local frontier "
+                f"{self.tree.leaf_count}"
+            )
+        announcement = self._announcement_for(index, pk)
+        applied_index = self.tree.append(pk)
+        assert applied_index == index
+        self._index_of_pk[pk.value] = index
+        self._push_root()
+        self._notify(announcement)
+
+    def _delete_at(self, index: int) -> None:
+        leaf = self.tree.leaf(index)
+        if leaf == ZERO:
+            return  # already deleted
+        announcement = self._announcement_for(index, ZERO)
+        self.tree.delete(index)
+        self._index_of_pk.pop(leaf.value, None)
+        self._push_root()
+        self._notify(announcement)
+
+    def _push_root(self) -> None:
+        self._recent_roots.append(self.tree.root)
+
+    # -- queries --------------------------------------------------------------------
+
+    @property
+    def root(self) -> FieldElement:
+        return self.tree.root
+
+    def recent_roots(self) -> list[FieldElement]:
+        """Most recent roots, newest last (the validator's window)."""
+        return list(self._recent_roots)
+
+    def is_acceptable_root(self, root: FieldElement) -> bool:
+        return root in self._recent_roots
+
+    def member_count(self) -> int:
+        return self.tree.member_count
+
+    def index_of(self, pk: FieldElement) -> int:
+        try:
+            return self._index_of_pk[pk.value]
+        except KeyError:
+            raise NotRegistered(f"commitment {pk.value} not in local tree") from None
+
+    def merkle_proof(self, pk: FieldElement) -> MerkleProof:
+        """Current authentication path for a member's commitment (§II-B auth)."""
+        return self.tree.proof(self.index_of(pk))
+
+    def merkle_proof_at(self, index: int) -> MerkleProof:
+        return self.tree.proof(index)
+
+    # -- hybrid architecture: serving storage-limited peers (§IV-A) -----------------
+
+    def on_update(self, listener: Callable[[TreeUpdate], None]) -> None:
+        """Subscribe to TreeUpdate announcements (for OptimizedMerkleView)."""
+        self._update_listeners.append(listener)
+
+    def _announcement_for(self, index: int, new_leaf: FieldElement) -> TreeUpdate:
+        """Pre-change path packaged for O(log N)-storage peers."""
+        return TreeUpdate(
+            index=index, new_leaf=new_leaf, path=self.tree.proof(index)
+        )
+
+    def _notify(self, announcement: TreeUpdate) -> None:
+        for listener in list(self._update_listeners):
+            listener(announcement)
+
+    # -- sync verification (§III-C) ----------------------------------------------------
+
+    def assert_synced(self) -> None:
+        """Raise :class:`SyncError` if the local tree diverged from the contract."""
+        rebuilt = MerkleTree.from_leaves(
+            [FieldElement(pk) for pk in self.contract.commitment_list()],
+            depth=self.tree.depth,
+        )
+        if rebuilt.root != self.tree.root:
+            raise SyncError(
+                "local tree root diverged from the contract's commitment list; "
+                "proofs made against it risk exposing the member's leaf index"
+            )

@@ -1,0 +1,63 @@
+"""The rate-limit proof bundle attached to every published message (§III-E).
+
+A publishing peer sends ``(m, (x, y), phi, epoch, tau, pi)``:
+
+* ``m``     — the Waku message payload,
+* ``(x, y)`` — its share of the peer's identity secret key,
+* ``phi``   — the internal nullifier,
+* ``epoch`` — the external nullifier,
+* ``tau``   — the identity-commitment tree root the proof was made against,
+* ``pi``    — the zkSNARK proof.
+
+:class:`RateLimitProof` carries everything except ``m`` (which rides in the
+enclosing :class:`repro.waku.message.WakuMessage`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.field import FIELD_BYTES, FieldElement
+from repro.crypto.hashing import hash_message_to_field
+from repro.crypto.shamir import Share
+from repro.zksnark.groth16 import PROOF_SIZE, Proof
+from repro.zksnark.rln_circuit import RLNPublicInputs
+from repro.core.epoch import external_nullifier
+
+
+@dataclass(frozen=True)
+class RateLimitProof:
+    """§III-E metadata: share, nullifier, epoch, root, and the proof."""
+
+    share_x: FieldElement
+    share_y: FieldElement
+    internal_nullifier: FieldElement
+    epoch: int
+    root: FieldElement
+    proof: Proof
+
+    @property
+    def share(self) -> Share:
+        return Share(x=self.share_x, y=self.share_y)
+
+    def public_inputs(self) -> RLNPublicInputs:
+        """Reassemble the zkSNARK statement this bundle claims."""
+        return RLNPublicInputs(
+            x=self.share_x,
+            external_nullifier=external_nullifier(self.epoch),
+            y=self.share_y,
+            internal_nullifier=self.internal_nullifier,
+            root=self.root,
+        )
+
+    def matches_payload(self, payload: bytes) -> bool:
+        """True iff ``x`` really is the hash of ``payload``.
+
+        Binding the proof to the payload is what stops an adversary from
+        replaying someone else's valid proof on a different message.
+        """
+        return hash_message_to_field(payload) == self.share_x
+
+    def byte_size(self) -> int:
+        """Wire size: 4 field elements + 8-byte epoch + 128-byte proof."""
+        return 4 * FIELD_BYTES + 8 + PROOF_SIZE

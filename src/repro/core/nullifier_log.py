@@ -1,0 +1,100 @@
+"""The nullifier map each routing peer keeps (§III-F).
+
+"each routing peer keeps a local record of the identity key share (x, y)
+and the internal nullifier phi of all of its valid incoming message bundles
+for the past Thr epochs" — this structure is that record.
+
+Lookups answer the routing decision of §III-F:
+
+* no earlier entry with this nullifier    -> fresh, relay it;
+* earlier entry with the *same* share     -> duplicate, drop silently;
+* earlier entry with a *different* share  -> spam, slash the publisher.
+
+Entries older than the accepted epoch window are pruned: messages for
+those epochs are dropped by the gap check before ever reaching the map, so
+retaining them would be pure overhead (the paper makes exactly this
+argument for why the map "does not have to capture the entire history").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.crypto.field import FieldElement
+from repro.crypto.shamir import Share
+
+
+class NullifierOutcome(Enum):
+    """Classification of a bundle against the nullifier map (§III-F)."""
+
+    FRESH = "fresh"
+    DUPLICATE = "duplicate"
+    SPAM = "spam"
+
+
+@dataclass(frozen=True)
+class NullifierRecord:
+    """One remembered message bundle."""
+
+    share: Share
+    epoch: int
+    msg_id: bytes
+
+
+@dataclass(frozen=True)
+class SpamEvidence:
+    """Two distinct shares under one nullifier — enough to recover sk."""
+
+    internal_nullifier: FieldElement
+    epoch: int
+    share_a: Share
+    share_b: Share
+
+
+class NullifierLog:
+    """Per-epoch index of internal nullifiers to shares."""
+
+    def __init__(self) -> None:
+        self._by_epoch: dict[int, dict[int, NullifierRecord]] = {}
+
+    def observe(
+        self,
+        epoch: int,
+        internal_nullifier: FieldElement,
+        share: Share,
+        msg_id: bytes,
+    ) -> tuple[NullifierOutcome, SpamEvidence | None]:
+        """Record a bundle and classify it against the §III-F rules."""
+        epoch_map = self._by_epoch.setdefault(epoch, {})
+        key = internal_nullifier.value
+        existing = epoch_map.get(key)
+        if existing is None:
+            epoch_map[key] = NullifierRecord(share=share, epoch=epoch, msg_id=msg_id)
+            return NullifierOutcome.FRESH, None
+        if existing.share == share:
+            return NullifierOutcome.DUPLICATE, None
+        evidence = SpamEvidence(
+            internal_nullifier=internal_nullifier,
+            epoch=epoch,
+            share_a=existing.share,
+            share_b=share,
+        )
+        return NullifierOutcome.SPAM, evidence
+
+    def lookup(self, epoch: int, internal_nullifier: FieldElement) -> NullifierRecord | None:
+        return self._by_epoch.get(epoch, {}).get(internal_nullifier.value)
+
+    def prune_before(self, oldest_kept_epoch: int) -> int:
+        """Drop all epochs older than ``oldest_kept_epoch``; returns count."""
+        stale = [e for e in self._by_epoch if e < oldest_kept_epoch]
+        removed = 0
+        for epoch in stale:
+            removed += len(self._by_epoch.pop(epoch))
+        return removed
+
+    def entry_count(self) -> int:
+        return sum(len(m) for m in self._by_epoch.values())
+
+    def epochs_tracked(self) -> list[int]:
+        return sorted(self._by_epoch)

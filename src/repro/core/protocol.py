@@ -1,0 +1,295 @@
+"""WAKU-RLN-RELAY: the spam-protected relay peer (§III).
+
+:class:`WakuRLNRelayPeer` composes every layer of the reproduction the way
+Figure 1 of the paper composes the system:
+
+* a :class:`~repro.waku.relay.WakuRelay` endpoint (GossipSub underneath),
+* a :class:`~repro.core.membership.GroupManager` syncing the identity tree
+  from the membership contract's events (§III-C),
+* a :class:`~repro.core.validator.BundleValidator` implementing the §III-F
+  routing decision, installed as the relay's message validator,
+* a :class:`~repro.core.slashing.Slasher` running commit-reveal slashing
+  when the validator produces spam evidence.
+
+Publishing (§III-E) derives the epoch from the peer's own (possibly
+drifting) clock, enforces the local one-message-per-epoch discipline, and
+attaches the proof bundle.  A ``force=True`` escape hatch exists so the
+experiments can *be* the spammer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field as dataclass_field
+from typing import Callable
+
+from repro.chain.blockchain import Blockchain
+from repro.chain.rln_contract import RLNMembershipContract
+from repro.core.config import RLNConfig
+from repro.core.epoch import epoch_of, external_nullifier
+from repro.core.membership import GroupManager
+from repro.core.messages import RateLimitProof
+from repro.core.nullifier_log import SpamEvidence
+from repro.core.slashing import Slasher
+from repro.core.validator import BundleValidator, ValidationOutcome
+from repro.crypto.identity import Identity
+from repro.errors import ProtocolError, RegistrationError
+from repro.gossipsub.messages import PubSubMessage
+from repro.gossipsub.router import GossipSubParams, ValidationResult
+from repro.gossipsub.scoring import ScoreParams
+from repro.net.clock import PeerClock
+from repro.net.simulator import Simulator
+from repro.net.transport import Network
+from repro.waku.message import WakuMessage
+from repro.waku.relay import WakuRelay
+from repro.zksnark.prover import RLNProver, shared_prover
+from repro.zksnark.rln_circuit import RLNPublicInputs, RLNWitness
+
+#: Default content topic for RLN-protected traffic.
+DEFAULT_CONTENT_TOPIC = "/rln/1/chat/proto"
+
+
+@dataclass
+class PeerProtocolStats:
+    """Protocol-level counters (router counters live in relay.stats)."""
+
+    published: int = 0
+    publish_rate_limited: int = 0
+    spam_detected: int = 0
+    slash_attempts: int = 0
+
+
+class WakuRLNRelayPeer:
+    """One spam-protected relay peer."""
+
+    def __init__(
+        self,
+        peer_id: str,
+        *,
+        network: Network,
+        simulator: Simulator,
+        chain: Blockchain,
+        contract: RLNMembershipContract,
+        config: RLNConfig | None = None,
+        prover: RLNProver | None = None,
+        clock: PeerClock | None = None,
+        identity: Identity | None = None,
+        gossip_params: GossipSubParams | None = None,
+        score_params: ScoreParams | None = None,
+        enable_scoring: bool = False,
+        auto_slash: bool = True,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.peer_id = peer_id
+        self.simulator = simulator
+        self.chain = chain
+        self.contract = contract
+        self.config = config or RLNConfig()
+        self.prover = prover or shared_prover(
+            self.config.tree_depth, self.config.prover_backend
+        )
+        if self.prover.depth != self.config.tree_depth:
+            raise ProtocolError("prover depth does not match config tree depth")
+        self.clock = clock or PeerClock(genesis_unix=self.config.genesis_unix)
+        self.identity = identity
+        self.auto_slash = auto_slash
+        self.stats = PeerProtocolStats()
+
+        self.relay = WakuRelay(
+            peer_id,
+            network,
+            simulator,
+            params=gossip_params,
+            score_params=score_params,
+            enable_scoring=enable_scoring,
+            rng=rng,
+        )
+        self.group = GroupManager(
+            chain,
+            contract,
+            tree_depth=self.config.tree_depth,
+            root_window=self.config.root_window,
+        )
+        self.validator = BundleValidator(self.config, self.prover, self.group)
+        self.slasher = Slasher(peer_id, chain, contract.address)
+        self.relay.set_validator(self._validate)
+
+        self.received: list[WakuMessage] = []
+        self.relay.subscribe(self.received.append)
+        self._spam_callbacks: list[Callable[[SpamEvidence], None]] = []
+        self._published_epochs: dict[int, int] = {}
+        self._slashed_cases: set[tuple[int, int]] = set()
+        self._registration_tx: int | None = None
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> None:
+        self.relay.start()
+
+    def stop(self) -> None:
+        self.relay.stop()
+        self.group.close()
+
+    # -- registration (§III-B) ------------------------------------------------------
+
+    def create_identity(self) -> Identity:
+        if self.identity is not None:
+            raise RegistrationError("peer already has an identity")
+        self.identity = Identity.generate()
+        return self.identity
+
+    def request_registration(self) -> int:
+        """Send the registration transaction (deposit attached).
+
+        Registration completes when the transaction is mined and the
+        ``MemberRegistered`` event reaches the group manager; check
+        :attr:`registered`.
+        """
+        if self.identity is None:
+            self.create_identity()
+        assert self.identity is not None
+        self._registration_tx = self.chain.send_transaction(
+            self.peer_id,
+            self.contract.address,
+            "register",
+            {"pk": self.identity.pk.value},
+            value=self.contract.deposit,
+            calldata=self.identity.pk.to_bytes(),
+        )
+        return self._registration_tx
+
+    @property
+    def registered(self) -> bool:
+        if self.identity is None:
+            return False
+        return self.contract.is_member(self.identity.pk)
+
+    @property
+    def member_index(self) -> int | None:
+        if self.identity is None or not self.registered:
+            return None
+        return self.group.index_of(self.identity.pk)
+
+    # -- clock / epoch (§III-D) ---------------------------------------------------------
+
+    def unix_now(self) -> float:
+        return self.clock.unix_time(self.simulator.now)
+
+    def current_epoch(self) -> int:
+        return epoch_of(self.unix_now(), self.config.epoch_length)
+
+    # -- publishing (§III-E) ---------------------------------------------------------------
+
+    def publish(
+        self,
+        payload: bytes,
+        *,
+        content_topic: str = DEFAULT_CONTENT_TOPIC,
+        force: bool = False,
+    ) -> WakuMessage:
+        """Publish a payload with its rate-limit proof attached.
+
+        ``force=True`` skips the local one-message-per-epoch discipline —
+        the spammer behaviour of the experiments.  The proof is still
+        honestly generated; RLN's point is that the *second* honest proof
+        in an epoch is what convicts you.
+        """
+        if self.identity is None or not self.registered:
+            raise RegistrationError(f"{self.peer_id} is not a registered member")
+        epoch = self.current_epoch()
+        count = self._published_epochs.get(epoch, 0)
+        if count >= 1 and not force:
+            self.stats.publish_rate_limited += 1
+            raise ProtocolError(
+                f"rate limit: already published in epoch {epoch} "
+                f"(one message per {self.config.epoch_length}s epoch)"
+            )
+        message = self._build_message(payload, content_topic, epoch)
+        self._published_epochs[epoch] = count + 1
+        self.stats.published += 1
+        self.relay.publish(message)
+        return message
+
+    def _build_message(
+        self, payload: bytes, content_topic: str, epoch: int
+    ) -> WakuMessage:
+        assert self.identity is not None
+        ext = external_nullifier(epoch)
+        root = self.group.root
+        public = RLNPublicInputs.for_message(self.identity, payload, ext, root)
+        witness = RLNWitness(
+            identity=self.identity,
+            merkle_proof=self.group.merkle_proof(self.identity.pk),
+        )
+        proof = self.prover.prove(public, witness)
+        bundle = RateLimitProof(
+            share_x=public.x,
+            share_y=public.y,
+            internal_nullifier=public.internal_nullifier,
+            epoch=epoch,
+            root=root,
+            proof=proof,
+        )
+        return WakuMessage(
+            payload=payload,
+            content_topic=content_topic,
+            timestamp=self.unix_now(),
+            rate_limit_proof=bundle,
+        )
+
+    # -- routing validation (§III-F) ----------------------------------------------------------
+
+    def on_spam(self, callback: Callable[[SpamEvidence], None]) -> None:
+        self._spam_callbacks.append(callback)
+
+    def _validate(self, sender: str, pubsub_message: PubSubMessage) -> ValidationResult:
+        message = pubsub_message.payload
+        if not isinstance(message, WakuMessage):
+            return ValidationResult.REJECT
+        outcome, evidence = self.validator.validate(
+            message, self.current_epoch(), pubsub_message.msg_id
+        )
+        if outcome is ValidationOutcome.VALID:
+            return ValidationResult.ACCEPT
+        if outcome is ValidationOutcome.DUPLICATE:
+            return ValidationResult.IGNORE
+        if outcome is ValidationOutcome.SPAM:
+            assert evidence is not None
+            self.stats.spam_detected += 1
+            for callback in list(self._spam_callbacks):
+                callback(evidence)
+            if self.auto_slash:
+                self._begin_slash(evidence)
+            return ValidationResult.REJECT
+        return ValidationResult.REJECT
+
+    # -- slashing ----------------------------------------------------------------------------------
+
+    def _begin_slash(self, evidence: SpamEvidence) -> None:
+        case = (evidence.internal_nullifier.value, evidence.epoch)
+        if case in self._slashed_cases:
+            return
+        self._slashed_cases.add(case)
+        self.stats.slash_attempts += 1
+        self.slasher.begin(evidence)
+        self._pump_slashing()
+
+    def _pump_slashing(self) -> None:
+        """Drive pending commit-reveal attempts across the next blocks."""
+
+        def pump() -> None:
+            self.slasher.settle()
+            if self.slasher.pending():
+                self.simulator.schedule(self.chain.block_interval, pump)
+
+        self.simulator.schedule(self.chain.block_interval * 1.05, pump)
+
+    # -- convenience ---------------------------------------------------------------------------------
+
+    @property
+    def router_stats(self):
+        return self.relay.stats
+
+    @property
+    def validator_stats(self):
+        return self.validator.stats

@@ -1,0 +1,123 @@
+"""Routing-time message validation — the decision procedure of §III-F.
+
+Upon receipt of a bundle ``(m, (x, y), phi, epoch, tau, pi)`` the routing
+peer decides relay / drop / slash:
+
+1. **epoch gap** — more than Thr epochs from the local clock's epoch: drop
+   (prevents a fresh member from spamming all past epochs, and a fast
+   clock from banking future quota);
+2. **root check** — tau must be one of the recently observed tree roots;
+3. **payload binding** — x must equal H(m) (otherwise a valid proof could
+   be replayed onto a different payload);
+4. **proof verification** — pi must verify against the public inputs;
+5. **rate check** against the nullifier map — fresh -> relay, identical
+   share -> duplicate (drop), different share -> spam (slash).
+
+The ordering puts the cheap checks first, so invalid-proof floods cost a
+routing peer as little as possible (experiment E10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.config import RLNConfig
+from repro.core.epoch import epoch_gap
+from repro.core.membership import GroupManager
+from repro.core.messages import RateLimitProof
+from repro.core.nullifier_log import NullifierLog, NullifierOutcome, SpamEvidence
+from repro.waku.message import WakuMessage
+from repro.zksnark.prover import RLNProver
+
+
+class ValidationOutcome(Enum):
+    """Result of the §III-F routing decision for one message bundle."""
+
+    VALID = "valid"
+    MISSING_PROOF = "missing-proof"
+    INVALID_EPOCH_GAP = "invalid-epoch-gap"
+    UNKNOWN_ROOT = "unknown-root"
+    PAYLOAD_MISMATCH = "payload-mismatch"
+    INVALID_PROOF = "invalid-proof"
+    DUPLICATE = "duplicate"
+    SPAM = "spam"
+
+
+@dataclass
+class ValidatorStats:
+    """Counters per outcome, plus proof-verification work performed."""
+
+    outcomes: dict[ValidationOutcome, int] = field(
+        default_factory=lambda: {outcome: 0 for outcome in ValidationOutcome}
+    )
+    proofs_verified: int = 0
+
+    def record(self, outcome: ValidationOutcome) -> None:
+        self.outcomes[outcome] += 1
+
+    def count(self, outcome: ValidationOutcome) -> int:
+        return self.outcomes[outcome]
+
+
+class BundleValidator:
+    """One routing peer's validation pipeline and nullifier map."""
+
+    def __init__(
+        self,
+        config: RLNConfig,
+        prover: RLNProver,
+        group: GroupManager,
+    ) -> None:
+        self.config = config
+        self.prover = prover
+        self.group = group
+        self.log = NullifierLog()
+        self.stats = ValidatorStats()
+
+    def validate(
+        self, message: WakuMessage, local_epoch: int, msg_id: bytes
+    ) -> tuple[ValidationOutcome, SpamEvidence | None]:
+        """Classify one incoming message bundle."""
+        outcome, evidence = self._classify(message, local_epoch, msg_id)
+        self.stats.record(outcome)
+        return outcome, evidence
+
+    def _classify(
+        self, message: WakuMessage, local_epoch: int, msg_id: bytes
+    ) -> tuple[ValidationOutcome, SpamEvidence | None]:
+        proof = message.rate_limit_proof
+        if not isinstance(proof, RateLimitProof):
+            return ValidationOutcome.MISSING_PROOF, None
+
+        # 1. Epoch-gap check (§III-F item 1) — cheapest, first.
+        if epoch_gap(local_epoch, proof.epoch) > self.config.max_epoch_gap:
+            return ValidationOutcome.INVALID_EPOCH_GAP, None
+
+        # 2. The proof must speak about a tree root we recognise.
+        if not self.group.is_acceptable_root(proof.root):
+            return ValidationOutcome.UNKNOWN_ROOT, None
+
+        # 3. x = H(m): the proof is bound to this exact payload.
+        if not proof.matches_payload(message.payload):
+            return ValidationOutcome.PAYLOAD_MISMATCH, None
+
+        # 4. zkSNARK verification (§III-F item 2).
+        self.stats.proofs_verified += 1
+        if not self.prover.verify(proof.public_inputs(), proof.proof):
+            return ValidationOutcome.INVALID_PROOF, None
+
+        # 5. Rate check against the nullifier map (§III-F item 3).
+        self._prune(local_epoch)
+        outcome, evidence = self.log.observe(
+            proof.epoch, proof.internal_nullifier, proof.share, msg_id
+        )
+        if outcome is NullifierOutcome.FRESH:
+            return ValidationOutcome.VALID, None
+        if outcome is NullifierOutcome.DUPLICATE:
+            return ValidationOutcome.DUPLICATE, None
+        return ValidationOutcome.SPAM, evidence
+
+    def _prune(self, local_epoch: int) -> None:
+        """Forget nullifiers older than the accepted window (§III-F)."""
+        self.log.prune_before(local_epoch - self.config.max_epoch_gap)

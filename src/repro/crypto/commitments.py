@@ -1,0 +1,66 @@
+"""Commit-and-reveal commitments for race-free slashing.
+
+§III-F ("Race condition"): a peer that recovered a spammer's secret key must
+not submit it to the contract in the clear, or a front-runner could copy the
+key from the mempool and steal the reward.  Instead the slasher first
+submits ``commit = H(sk_spammer, slasher_address, nonce)`` and later opens
+it.  The contract accepts the earliest valid commitment, so copying the
+commitment is useless (it binds the slasher's own address) and copying the
+opening is too late (the commitment round already fixed the winner).
+
+These are hash-based computationally-binding, computationally-hiding
+commitments — exactly what the technique needs.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+
+from repro.crypto.hashing import DOMAIN_COMMITMENT, tagged_sha256
+from repro.errors import CommitmentError
+
+
+@dataclass(frozen=True)
+class Commitment:
+    """An unopened commitment: just the digest."""
+
+    digest: bytes
+
+
+@dataclass(frozen=True)
+class Opening:
+    """The data revealed in the second round."""
+
+    payload: bytes
+    binder: bytes
+    nonce: bytes
+
+
+def commit(payload: bytes, binder: bytes, *, nonce: bytes | None = None) -> tuple[Commitment, Opening]:
+    """Commit to ``payload`` bound to ``binder`` (e.g. the slasher address).
+
+    Returns the commitment to publish now and the opening to keep secret
+    until the reveal round.
+    """
+    if nonce is None:
+        nonce = secrets.token_bytes(32)
+    if len(nonce) < 16:
+        raise CommitmentError("nonce must be at least 16 bytes")
+    digest = tagged_sha256(DOMAIN_COMMITMENT, payload, binder, nonce)
+    return Commitment(digest=digest), Opening(payload=payload, binder=binder, nonce=nonce)
+
+
+def verify_opening(commitment: Commitment, opening: Opening) -> bool:
+    """True iff ``opening`` opens ``commitment``."""
+    expected = tagged_sha256(
+        DOMAIN_COMMITMENT, opening.payload, opening.binder, opening.nonce
+    )
+    return expected == commitment.digest
+
+
+def open_or_raise(commitment: Commitment, opening: Opening) -> bytes:
+    """Return the committed payload, raising on any mismatch."""
+    if not verify_opening(commitment, opening):
+        raise CommitmentError("opening does not match commitment")
+    return opening.payload

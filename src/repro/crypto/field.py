@@ -1,0 +1,187 @@
+"""Arithmetic over the BN254 (alt_bn128) scalar field.
+
+Every cryptographic object in the RLN construction — identity keys, identity
+commitments, Poseidon digests, Shamir shares, nullifiers, Merkle nodes and
+the zkSNARK witness — lives in the scalar field of the BN254 pairing curve,
+because that is the field the Groth16 circuit of the paper's RLN library
+(``kilic/rln``) operates over.  This module provides that field.
+
+The implementation wraps Python's arbitrary-precision integers.  Elements are
+immutable; all operators return new elements.  ``FieldElement`` supports
+mixing with plain ``int`` on either side, which keeps gadget code in
+:mod:`repro.zksnark` readable.
+"""
+
+from __future__ import annotations
+
+import secrets
+from typing import Iterable, Union
+
+from repro.errors import FieldError
+
+#: Order of the BN254 scalar field (a prime).  This is the value ``r`` such
+#: that the alt_bn128 curve group used by Ethereum precompiles has order r.
+FIELD_MODULUS = (
+    21888242871839275222246405745257275088548364400416034343698204186575808495617
+)
+
+#: Number of bytes needed to serialize a field element (the paper's 32-byte
+#: identity keys and commitments, §IV).
+FIELD_BYTES = 32
+
+IntLike = Union[int, "FieldElement"]
+
+
+def _coerce(value: IntLike) -> int:
+    if isinstance(value, FieldElement):
+        return value.value
+    if isinstance(value, int):
+        return value % FIELD_MODULUS
+    raise TypeError(f"cannot coerce {type(value).__name__} to a field element")
+
+
+class FieldElement:
+    """An immutable element of the BN254 scalar field.
+
+    >>> a = FieldElement(3)
+    >>> b = FieldElement(-1)
+    >>> (a + b).value
+    2
+    >>> (a * a).value
+    9
+    >>> (a / a).value
+    1
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: IntLike = 0) -> None:
+        object.__setattr__(self, "value", _coerce(value))
+
+    # -- immutability -------------------------------------------------------
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("FieldElement is immutable")
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def __add__(self, other: IntLike) -> "FieldElement":
+        return FieldElement(self.value + _coerce(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: IntLike) -> "FieldElement":
+        return FieldElement(self.value - _coerce(other))
+
+    def __rsub__(self, other: IntLike) -> "FieldElement":
+        return FieldElement(_coerce(other) - self.value)
+
+    def __mul__(self, other: IntLike) -> "FieldElement":
+        return FieldElement(self.value * _coerce(other))
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "FieldElement":
+        return FieldElement(-self.value)
+
+    def __pow__(self, exponent: int) -> "FieldElement":
+        if exponent < 0:
+            return self.inverse() ** (-exponent)
+        return FieldElement(pow(self.value, exponent, FIELD_MODULUS))
+
+    def inverse(self) -> "FieldElement":
+        """Multiplicative inverse; raises :class:`FieldError` for zero."""
+        if self.value == 0:
+            raise FieldError("zero has no multiplicative inverse")
+        return FieldElement(pow(self.value, FIELD_MODULUS - 2, FIELD_MODULUS))
+
+    def __truediv__(self, other: IntLike) -> "FieldElement":
+        divisor = FieldElement(other)
+        return self * divisor.inverse()
+
+    def __rtruediv__(self, other: IntLike) -> "FieldElement":
+        return FieldElement(other) / self
+
+    # -- comparison / hashing ----------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (FieldElement, int)):
+            return self.value == _coerce(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((FIELD_MODULUS, self.value))
+
+    def __bool__(self) -> bool:
+        return self.value != 0
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __index__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"FieldElement({self.value})"
+
+    # -- serialization ------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize to 32 big-endian bytes (the paper's 32-byte keys)."""
+        return self.value.to_bytes(FIELD_BYTES, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "FieldElement":
+        """Deserialize from big-endian bytes, reducing mod the field order."""
+        if len(data) > FIELD_BYTES:
+            raise FieldError(
+                f"field element encoding too long: {len(data)} > {FIELD_BYTES}"
+            )
+        return cls(int.from_bytes(data, "big"))
+
+    @classmethod
+    def random(cls) -> "FieldElement":
+        """Sample a uniformly random element using the OS CSPRNG."""
+        return cls(secrets.randbelow(FIELD_MODULUS))
+
+
+#: The additive identity.
+ZERO = FieldElement(0)
+#: The multiplicative identity.
+ONE = FieldElement(1)
+
+
+def batch_inverse(elements: Iterable[FieldElement]) -> list[FieldElement]:
+    """Invert many nonzero elements with a single modular inversion.
+
+    Montgomery's trick: compute prefix products, invert the total once, then
+    unwind.  Used by the Merkle benchmarks where thousands of inversions
+    would otherwise dominate.
+    """
+    items = list(elements)
+    if not items:
+        return []
+    prefix: list[FieldElement] = []
+    running = ONE
+    for element in items:
+        if element.value == 0:
+            raise FieldError("batch_inverse: zero element")
+        running = running * element
+        prefix.append(running)
+    inv = prefix[-1].inverse()
+    out: list[FieldElement] = [ZERO] * len(items)
+    for i in range(len(items) - 1, 0, -1):
+        out[i] = inv * prefix[i - 1]
+        inv = inv * items[i]
+    out[0] = inv
+    return out
+
+
+def element_from_hash(digest: bytes) -> FieldElement:
+    """Map an arbitrary hash digest into the field (uniform up to bias 2^-128).
+
+    Interprets the digest as a big-endian integer and reduces it.  Used to
+    map SHA-256 digests of message payloads to the ``x`` coordinate of an
+    RLN share (x = H(m), §II-B).
+    """
+    return FieldElement(int.from_bytes(digest, "big"))

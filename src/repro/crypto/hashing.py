@@ -1,0 +1,46 @@
+"""Byte-oriented hash helpers with domain separation.
+
+Poseidon (:mod:`repro.crypto.poseidon`) handles everything *inside* the
+circuit; this module handles everything outside it: hashing message payloads
+to field elements (``x = H(m)``, §II-B), deriving message ids for the
+GossipSub seen-cache, and the commit-and-reveal commitments used during
+slashing.  All byte hashing is SHA-256 with an explicit domain tag so that
+digests from different contexts can never collide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.crypto.field import FieldElement, element_from_hash
+
+#: Domain tags.  Each context gets its own prefix.
+DOMAIN_MESSAGE = b"waku-rln-relay:message"
+DOMAIN_MESSAGE_ID = b"waku-rln-relay:message-id"
+DOMAIN_COMMITMENT = b"waku-rln-relay:commit-reveal"
+DOMAIN_PROOF = b"waku-rln-relay:proof-transcript"
+
+
+def tagged_sha256(domain: bytes, *parts: bytes) -> bytes:
+    """SHA-256 over length-prefixed parts under a domain tag.
+
+    Length prefixes make the encoding injective: ``(b"ab", b"c")`` and
+    ``(b"a", b"bc")`` hash differently.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(len(domain).to_bytes(2, "big"))
+    hasher.update(domain)
+    for part in parts:
+        hasher.update(len(part).to_bytes(8, "big"))
+        hasher.update(part)
+    return hasher.digest()
+
+
+def hash_message_to_field(payload: bytes) -> FieldElement:
+    """Map a message payload to the field element ``x = H(m)`` of §II-B."""
+    return element_from_hash(tagged_sha256(DOMAIN_MESSAGE, payload))
+
+
+def message_id(payload: bytes, topic: str) -> bytes:
+    """Stable 32-byte id used by the GossipSub seen-cache and WAKU-STORE."""
+    return tagged_sha256(DOMAIN_MESSAGE_ID, topic.encode("utf-8"), payload)

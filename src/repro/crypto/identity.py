@@ -1,0 +1,108 @@
+"""RLN identity keys and per-epoch derivations.
+
+An identity (§II-B) is a secret field element ``sk`` (the *identity key*)
+and its Poseidon image ``pk = H(sk)`` (the *identity commitment*).  The
+commitment is what the membership contract stores and what appears as a
+Merkle leaf; the key never leaves the member's device — unless the member
+double-signals, in which case the shares it published reveal it.
+
+Per-epoch values (all from §II-B):
+
+* slope        ``a1  = H(sk, external_nullifier)``
+* share        ``(x, y)`` with ``x = H(m)`` and ``y = sk + a1 * x``
+* internal nullifier ``phi = H(a1)``
+
+The internal nullifier is what routing peers index their nullifier map by:
+it is stable for one (member, epoch) pair but unlinkable across epochs and
+across members.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.field import FieldElement
+from repro.crypto.poseidon import poseidon_hash
+from repro.crypto.shamir import Share, rln_share
+from repro.errors import IdentityError
+
+
+def derive_commitment(sk: FieldElement) -> FieldElement:
+    """pk = H(sk)."""
+    return poseidon_hash([sk])
+
+
+def derive_slope(sk: FieldElement, external_nullifier: FieldElement) -> FieldElement:
+    """a1 = H(sk, external_nullifier) — the epoch-bound line slope."""
+    return poseidon_hash([sk, external_nullifier])
+
+
+def derive_internal_nullifier(slope: FieldElement) -> FieldElement:
+    """phi = H(a1) = H(H(sk, external_nullifier))."""
+    return poseidon_hash([slope])
+
+
+@dataclass(frozen=True)
+class EpochSecrets:
+    """Everything an identity derives for one external nullifier."""
+
+    external_nullifier: FieldElement
+    slope: FieldElement
+    internal_nullifier: FieldElement
+
+
+@dataclass(frozen=True)
+class Identity:
+    """An RLN member identity: secret key plus cached commitment.
+
+    Construct with :meth:`generate` (random) or :meth:`from_secret`
+    (deterministic, for tests).
+    """
+
+    sk: FieldElement
+    pk: FieldElement
+
+    @classmethod
+    def generate(cls) -> "Identity":
+        sk = FieldElement.random()
+        return cls(sk=sk, pk=derive_commitment(sk))
+
+    @classmethod
+    def from_secret(cls, sk: FieldElement | int) -> "Identity":
+        sk = FieldElement(sk)
+        if not sk:
+            raise IdentityError("secret key must be nonzero")
+        return cls(sk=sk, pk=derive_commitment(sk))
+
+    def __post_init__(self) -> None:
+        if derive_commitment(self.sk) != self.pk:
+            raise IdentityError("commitment does not match secret key")
+
+    # -- per-epoch derivations ------------------------------------------------
+
+    def epoch_secrets(self, external_nullifier: FieldElement) -> EpochSecrets:
+        slope = derive_slope(self.sk, external_nullifier)
+        return EpochSecrets(
+            external_nullifier=external_nullifier,
+            slope=slope,
+            internal_nullifier=derive_internal_nullifier(slope),
+        )
+
+    def share_for(self, external_nullifier: FieldElement, x: FieldElement) -> Share:
+        """The share (x, y) attached to a message with hash ``x`` (§II-B)."""
+        slope = derive_slope(self.sk, external_nullifier)
+        return rln_share(self.sk, slope, x)
+
+    # -- serialization ----------------------------------------------------------
+
+    def export_secret(self) -> bytes:
+        """32-byte secret key encoding (the paper's 32 B sk, §IV)."""
+        return self.sk.to_bytes()
+
+    def export_commitment(self) -> bytes:
+        """32-byte identity commitment encoding (the paper's 32 B pk)."""
+        return self.pk.to_bytes()
+
+    @classmethod
+    def from_secret_bytes(cls, data: bytes) -> "Identity":
+        return cls.from_secret(FieldElement.from_bytes(data))

@@ -1,0 +1,279 @@
+"""Incremental Merkle tree over Poseidon, as maintained off-chain by peers.
+
+§III-A adjustment 1 of the paper: the membership contract stores only an
+*ordered list* of identity commitments; every peer reconstructs and maintains
+the Merkle tree locally, applying the contract's insertion and deletion
+events.  This module implements that tree:
+
+* fixed depth (default 20, matching §IV's storage analysis),
+* sequential insertion into the next free leaf,
+* deletion by overwriting a leaf with the zero value (membership revocation
+  after slashing or withdrawal),
+* authentication-path (``auth`` of §II-B) generation and verification,
+* exact storage accounting used by experiment E4.
+
+The tree is sparse-aware: untouched subtrees are represented by precomputed
+"zero hashes", so memory grows with the number of occupied leaves, not with
+2^depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterator, Sequence
+
+from repro.crypto.field import FIELD_BYTES, FieldElement, ZERO
+from repro.crypto.poseidon import poseidon2
+from repro.errors import InvalidAuthPath, MerkleError, TreeFullError
+
+#: Depth used by the paper's storage analysis (§IV: depth-20 tree, 67 MB).
+DEFAULT_DEPTH = 20
+
+
+@lru_cache(maxsize=8)
+def zero_hashes(depth: int) -> tuple[FieldElement, ...]:
+    """Hashes of all-zero subtrees: level 0 is the zero leaf.
+
+    ``zero_hashes(d)[i]`` is the root of a fully-empty subtree of height i.
+    """
+    out = [ZERO]
+    for _ in range(depth):
+        out.append(poseidon2(out[-1], out[-1]))
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """Authentication path connecting one leaf to the root (§II-B ``auth``).
+
+    ``siblings[i]`` is the sibling node at level i (level 0 = leaves);
+    ``path_bits[i]`` is 1 if the leaf's ancestor at level i is a *right*
+    child.  ``path_bits`` is exactly the binary expansion of the leaf index,
+    least-significant bit first.
+    """
+
+    leaf: FieldElement
+    index: int
+    siblings: tuple[FieldElement, ...]
+    path_bits: tuple[int, ...]
+
+    @property
+    def depth(self) -> int:
+        return len(self.siblings)
+
+    def compute_root(self) -> FieldElement:
+        """Fold the path upward and return the implied root."""
+        node = self.leaf
+        for bit, sibling in zip(self.path_bits, self.siblings):
+            if bit:
+                node = poseidon2(sibling, node)
+            else:
+                node = poseidon2(node, sibling)
+        return node
+
+    def verify(self, root: FieldElement) -> bool:
+        """True iff this path proves membership under ``root``."""
+        return self.compute_root() == root
+
+    def byte_size(self) -> int:
+        """Serialized size: leaf + index + one field element per level."""
+        return FIELD_BYTES + 8 + len(self.siblings) * FIELD_BYTES
+
+
+class MerkleTree:
+    """Fixed-depth incremental Merkle tree with deletion support.
+
+    Nodes are stored in a dict keyed by (level, index); absent keys fall back
+    to the zero hash of that level, so an empty tree costs O(depth) memory.
+
+    >>> tree = MerkleTree(depth=3)
+    >>> i = tree.insert(FieldElement(42))
+    >>> proof = tree.proof(i)
+    >>> proof.verify(tree.root)
+    True
+    """
+
+    def __init__(self, depth: int = DEFAULT_DEPTH) -> None:
+        if not 1 <= depth <= 32:
+            raise MerkleError(f"depth must be in [1, 32], got {depth}")
+        self.depth = depth
+        self.capacity = 1 << depth
+        self._nodes: dict[tuple[int, int], FieldElement] = {}
+        self._zeros = zero_hashes(depth)
+        self._next_index = 0
+        #: Indices freed by deletion, reused before extending the frontier.
+        self._free: list[int] = []
+
+    # -- node access ---------------------------------------------------------
+
+    def _get(self, level: int, index: int) -> FieldElement:
+        return self._nodes.get((level, index), self._zeros[level])
+
+    def _set(self, level: int, index: int, value: FieldElement) -> None:
+        if value == self._zeros[level]:
+            self._nodes.pop((level, index), None)
+        else:
+            self._nodes[(level, index)] = value
+
+    @property
+    def root(self) -> FieldElement:
+        return self._get(self.depth, 0)
+
+    @property
+    def leaf_count(self) -> int:
+        """Number of leaf slots ever allocated (including deleted ones)."""
+        return self._next_index
+
+    @property
+    def member_count(self) -> int:
+        """Number of currently occupied (non-deleted) leaves."""
+        return self._next_index - len(self._free)
+
+    def leaf(self, index: int) -> FieldElement:
+        self._check_index(index)
+        return self._get(0, index)
+
+    def leaves(self) -> Iterator[FieldElement]:
+        """All allocated leaf values in index order (zero where deleted)."""
+        for index in range(self._next_index):
+            yield self._get(0, index)
+
+    # -- mutation -------------------------------------------------------------
+
+    def insert(self, leaf: FieldElement) -> int:
+        """Insert a leaf into the lowest free slot and return its index."""
+        if leaf == ZERO:
+            raise MerkleError("cannot insert the zero leaf (reserved for empty)")
+        if self._free:
+            index = min(self._free)
+            self._free.remove(index)
+        elif self._next_index < self.capacity:
+            index = self._next_index
+            self._next_index += 1
+        else:
+            raise TreeFullError(f"tree of depth {self.depth} is full")
+        self._update_leaf(index, leaf)
+        return index
+
+    def append(self, leaf: FieldElement) -> int:
+        """Insert at the frontier, never reusing deleted slots.
+
+        This matches the membership contract's ordered list (§III-A), which
+        only ever appends; deleted slots stay zero so every member's index
+        is stable for the lifetime of the group.
+        """
+        if leaf == ZERO:
+            raise MerkleError("cannot insert the zero leaf (reserved for empty)")
+        if self._next_index >= self.capacity:
+            raise TreeFullError(f"tree of depth {self.depth} is full")
+        index = self._next_index
+        self._next_index += 1
+        self._update_leaf(index, leaf)
+        return index
+
+    def delete(self, index: int) -> None:
+        """Zero out a leaf (member removal after slashing/withdrawal)."""
+        self._check_index(index)
+        if self._get(0, index) == ZERO:
+            raise MerkleError(f"leaf {index} is already empty")
+        self._update_leaf(index, ZERO)
+        self._free.append(index)
+
+    def update(self, index: int, leaf: FieldElement) -> None:
+        """Overwrite an occupied leaf in place."""
+        self._check_index(index)
+        if leaf == ZERO:
+            raise MerkleError("use delete() to clear a leaf")
+        if self._get(0, index) == ZERO:
+            raise MerkleError(f"leaf {index} is empty; use insert()")
+        self._update_leaf(index, leaf)
+
+    def _update_leaf(self, index: int, leaf: FieldElement) -> None:
+        self._set(0, index, leaf)
+        node_index = index
+        for level in range(self.depth):
+            sibling_index = node_index ^ 1
+            sibling = self._get(level, sibling_index)
+            node = self._get(level, node_index)
+            if node_index & 1:
+                parent = poseidon2(sibling, node)
+            else:
+                parent = poseidon2(node, sibling)
+            node_index >>= 1
+            self._set(level + 1, node_index, parent)
+
+    # -- proofs ---------------------------------------------------------------
+
+    def proof(self, index: int) -> MerkleProof:
+        """Authentication path for the leaf at ``index``."""
+        self._check_index(index)
+        siblings: list[FieldElement] = []
+        bits: list[int] = []
+        node_index = index
+        for level in range(self.depth):
+            siblings.append(self._get(level, node_index ^ 1))
+            bits.append(node_index & 1)
+            node_index >>= 1
+        return MerkleProof(
+            leaf=self._get(0, index),
+            index=index,
+            siblings=tuple(siblings),
+            path_bits=tuple(bits),
+        )
+
+    def find(self, leaf: FieldElement) -> int:
+        """Index of the first occurrence of ``leaf``; raises if absent."""
+        for index in range(self._next_index):
+            if self._get(0, index) == leaf:
+                return index
+        raise MerkleError("leaf not present in tree")
+
+    # -- accounting (experiment E4) --------------------------------------------
+
+    def stored_node_count(self) -> int:
+        """Number of explicitly materialised (non-zero-hash) nodes."""
+        return len(self._nodes)
+
+    def storage_bytes(self) -> int:
+        """Bytes needed to persist the materialised nodes.
+
+        Counts one field element per stored node plus an 8-byte (level,
+        index) key — the layout a peer would use on disk.  A *dense* depth-20
+        tree is ~2^21 nodes x 32 B ≈ 67 MB, the figure in §IV.
+        """
+        return len(self._nodes) * (FIELD_BYTES + 8)
+
+    @staticmethod
+    def dense_storage_bytes(depth: int) -> int:
+        """Storage of a naively dense tree of the given depth (§IV's 67 MB)."""
+        node_count = (1 << (depth + 1)) - 1
+        return node_count * FIELD_BYTES
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.capacity:
+            raise MerkleError(f"leaf index {index} out of range for depth {self.depth}")
+
+    @classmethod
+    def from_leaves(cls, leaves: Sequence[FieldElement], depth: int = DEFAULT_DEPTH) -> "MerkleTree":
+        """Build a tree containing ``leaves`` in order (zero leaves skipped)."""
+        tree = cls(depth=depth)
+        if len(leaves) > tree.capacity:
+            raise TreeFullError(f"{len(leaves)} leaves exceed capacity {tree.capacity}")
+        for index, leaf in enumerate(leaves):
+            # Allocate strictly sequentially so index alignment with the
+            # contract's ordered list is preserved even across deleted slots.
+            tree._next_index = index + 1
+            if leaf == ZERO:
+                tree._free.append(index)
+            else:
+                tree._update_leaf(index, leaf)
+        return tree
+
+
+def verify_proof(root: FieldElement, proof: MerkleProof) -> None:
+    """Raise :class:`InvalidAuthPath` unless ``proof`` opens to ``root``."""
+    if not proof.verify(root):
+        raise InvalidAuthPath("authentication path does not match root")

@@ -1,0 +1,136 @@
+"""Storage-optimised Merkle view — reference [18] of the paper.
+
+§IV notes that a full depth-20 tree costs each peer ~67 MB and cites the
+vacp2p "storage efficient merkle tree update" proposal, which lets a peer
+keep only O(log N) state: its own leaf, its own authentication path, and the
+current root.  When another member is inserted or deleted, the peer updates
+its path and root from the *update announcement* alone, without storing the
+tree.
+
+The announcement must carry the changed leaf's pre-change authentication
+path.  In the paper's hybrid architecture (§IV-A "Lowering the storage
+overhead per peer"), resourceful peers holding the full tree serve those
+paths; :meth:`repro.core.membership.GroupManager.update_announcement`
+produces them in this reproduction.
+
+The update rule: let ``c`` be the changed leaf index and ``m`` mine.  Their
+paths to the root merge at level ``L = divergence_level(c, m)`` — the level
+where the ancestors first coincide; one level below, the changed leaf's
+ancestor *is* my path's sibling.  Recomputing the changed leaf's ancestors
+from the announcement therefore yields both the new root and (at level
+``L-1``) my one affected sibling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.field import FIELD_BYTES, FieldElement
+from repro.crypto.merkle import MerkleProof
+from repro.crypto.poseidon import poseidon2
+from repro.errors import MerkleError, SyncError
+
+
+@dataclass(frozen=True)
+class TreeUpdate:
+    """Announcement of one leaf change, broadcast alongside contract events.
+
+    ``path`` is the changed leaf's authentication path *before* the change
+    (its ``leaf`` field holds the old leaf value).
+    """
+
+    index: int
+    new_leaf: FieldElement
+    path: MerkleProof
+
+    def byte_size(self) -> int:
+        return 8 + FIELD_BYTES + self.path.byte_size()
+
+
+def divergence_level(a: int, b: int, depth: int) -> int:
+    """Lowest level at which the ancestors of leaves ``a`` and ``b`` coincide.
+
+    Equals ``depth`` minus the length of the common prefix of the two
+    index paths; 0 means a == b.
+    """
+    if a == b:
+        return 0
+    diff = a ^ b
+    return diff.bit_length()
+
+
+class OptimizedMerkleView:
+    """O(log N)-storage replacement for a peer's local Merkle tree.
+
+    Tracks exactly one member's path.  Raises :class:`SyncError` when an
+    update announcement is inconsistent with the tracked root, which is the
+    condition under which the paper warns a stale peer "can risk exposing
+    the index of their public key".
+    """
+
+    def __init__(self, own_proof: MerkleProof, root: FieldElement) -> None:
+        if not own_proof.verify(root):
+            raise MerkleError("initial proof does not match root")
+        self.depth = own_proof.depth
+        self.index = own_proof.index
+        self.leaf = own_proof.leaf
+        self._siblings = list(own_proof.siblings)
+        self.root = root
+
+    # -- queries -----------------------------------------------------------
+
+    def proof(self) -> MerkleProof:
+        """Current authentication path for the tracked member."""
+        bits = tuple((self.index >> level) & 1 for level in range(self.depth))
+        return MerkleProof(
+            leaf=self.leaf,
+            index=self.index,
+            siblings=tuple(self._siblings),
+            path_bits=bits,
+        )
+
+    def storage_bytes(self) -> int:
+        """Persistent state: leaf + root + one sibling per level + index."""
+        return FIELD_BYTES * (2 + self.depth) + 8
+
+    # -- updates -----------------------------------------------------------
+
+    def apply_update(self, update: TreeUpdate) -> None:
+        """Fold one announced leaf change into the local path and root."""
+        if update.path.depth != self.depth:
+            raise MerkleError("update path depth mismatch")
+        if update.index != update.path.index:
+            raise MerkleError("update index disagrees with its path")
+        if update.path.compute_root() != self.root:
+            raise SyncError(
+                "update announcement is inconsistent with the tracked root; "
+                "the local view is stale"
+            )
+        if update.index == self.index:
+            # Our own leaf changed (e.g. we were slashed): track the new value.
+            self.leaf = update.new_leaf
+            self.root = _replay(update, self.depth)[self.depth]
+            return
+        nodes = _replay(update, self.depth)
+        level = divergence_level(update.index, self.index, self.depth)
+        # One level below the merge point, the changed leaf's ancestor is our
+        # sibling.
+        self._siblings[level - 1] = nodes[level - 1]
+        self.root = nodes[self.depth]
+
+
+def _replay(update: TreeUpdate, depth: int) -> list[FieldElement]:
+    """Ancestors of the changed leaf after the change, indexed by level.
+
+    ``result[0]`` is the new leaf, ``result[depth]`` the new root.
+    """
+    nodes = [update.new_leaf]
+    node_index = update.index
+    for level in range(depth):
+        sibling = update.path.siblings[level]
+        if node_index & 1:
+            nodes.append(poseidon2(sibling, nodes[-1]))
+        else:
+            nodes.append(poseidon2(nodes[-1], sibling))
+        node_index >>= 1
+    return nodes

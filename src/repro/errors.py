@@ -1,0 +1,162 @@
+"""Exception hierarchy for the WAKU-RLN-RELAY reproduction.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so callers
+can catch library failures without masking programming errors.  The hierarchy
+mirrors the subsystem layout: crypto, zkSNARK, chain, network, and protocol
+errors each have their own branch.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Crypto substrate
+# ---------------------------------------------------------------------------
+
+
+class CryptoError(ReproError):
+    """Base class for failures in the cryptographic substrate."""
+
+
+class FieldError(CryptoError):
+    """Invalid finite-field operation (e.g. inverse of zero)."""
+
+
+class MerkleError(CryptoError):
+    """Invalid Merkle-tree operation (bad index, full tree, bad proof)."""
+
+
+class TreeFullError(MerkleError):
+    """The Merkle tree has no free leaves left."""
+
+
+class InvalidAuthPath(MerkleError):
+    """An authentication path failed verification."""
+
+
+class ShamirError(CryptoError):
+    """Invalid Shamir secret-sharing operation."""
+
+
+class IdentityError(CryptoError):
+    """Malformed identity key or commitment."""
+
+
+class CommitmentError(CryptoError):
+    """Commit-and-reveal commitment failed to open."""
+
+
+# ---------------------------------------------------------------------------
+# zkSNARK layer
+# ---------------------------------------------------------------------------
+
+
+class SnarkError(ReproError):
+    """Base class for zkSNARK failures."""
+
+
+class ConstraintViolation(SnarkError):
+    """A witness does not satisfy the R1CS constraint system."""
+
+
+class ProvingError(SnarkError):
+    """Proof generation failed (bad witness or malformed inputs)."""
+
+
+class VerificationError(SnarkError):
+    """A proof failed verification."""
+
+
+class SetupError(SnarkError):
+    """Trusted-setup ceremony failure."""
+
+
+# ---------------------------------------------------------------------------
+# Blockchain substrate
+# ---------------------------------------------------------------------------
+
+
+class ChainError(ReproError):
+    """Base class for blockchain-simulator failures."""
+
+
+class InsufficientFunds(ChainError):
+    """Account balance cannot cover value + gas."""
+
+
+class ContractError(ChainError):
+    """A contract call reverted."""
+
+
+class OutOfGas(ChainError):
+    """Transaction exceeded its gas limit."""
+
+
+class DuplicateRegistration(ContractError):
+    """The identity commitment is already a member."""
+
+
+class NotRegistered(ContractError):
+    """The identity commitment is not in the membership set."""
+
+
+# ---------------------------------------------------------------------------
+# Network substrate
+# ---------------------------------------------------------------------------
+
+
+class NetworkError(ReproError):
+    """Base class for network-simulator failures."""
+
+
+class UnknownPeer(NetworkError):
+    """Operation references a peer id that does not exist."""
+
+
+class NotConnected(NetworkError):
+    """Message send attempted over a non-existent link."""
+
+
+# ---------------------------------------------------------------------------
+# Protocol layer (WAKU-RLN-RELAY)
+# ---------------------------------------------------------------------------
+
+
+class ProtocolError(ReproError):
+    """Base class for WAKU-RLN-RELAY protocol violations."""
+
+
+class ValidationError(ProtocolError):
+    """A message bundle failed routing validation."""
+
+
+class EpochGapError(ValidationError):
+    """Message epoch is more than Thr epochs away from local epoch."""
+
+
+class InvalidProofError(ValidationError):
+    """Message carried an invalid rate-limit proof."""
+
+
+class DuplicateMessageError(ValidationError):
+    """Identical message bundle seen before (same nullifier and share)."""
+
+
+class SpamDetected(ProtocolError):
+    """Rate violation detected: two distinct shares for one nullifier."""
+
+    def __init__(self, message: str, *, nullifier: int | None = None) -> None:
+        super().__init__(message)
+        self.nullifier = nullifier
+
+
+class RegistrationError(ProtocolError):
+    """Peer registration with the membership contract failed."""
+
+
+class SyncError(ProtocolError):
+    """Local membership tree diverged from the contract state."""

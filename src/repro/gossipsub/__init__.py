@@ -1,0 +1,39 @@
+"""GossipSub substrate: router, mesh, gossip, message caches, peer scoring."""
+
+from repro.gossipsub.messages import (
+    Graft,
+    IHave,
+    IWant,
+    PubSubMessage,
+    Prune,
+    RPC,
+    Subscribe,
+)
+from repro.gossipsub.mcache import MessageCache, SeenCache
+from repro.gossipsub.router import (
+    GossipSubParams,
+    GossipSubRouter,
+    RouterStats,
+    ValidationResult,
+    Validator,
+)
+from repro.gossipsub.scoring import PeerScoreKeeper, ScoreParams
+
+__all__ = [
+    "Graft",
+    "IHave",
+    "IWant",
+    "PubSubMessage",
+    "Prune",
+    "RPC",
+    "Subscribe",
+    "MessageCache",
+    "SeenCache",
+    "GossipSubParams",
+    "GossipSubRouter",
+    "RouterStats",
+    "ValidationResult",
+    "Validator",
+    "PeerScoreKeeper",
+    "ScoreParams",
+]

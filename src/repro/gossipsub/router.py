@@ -1,0 +1,429 @@
+"""The GossipSub router: mesh overlay, gossip, validation, scoring.
+
+A from-scratch implementation of libp2p GossipSub (reference [2] of the
+paper) sufficient for WAKU-RELAY to be "a thin layer over the libp2p
+GossipSub routing protocol" (§I):
+
+* per-topic **mesh** maintained between [D_lo, D_hi] around a target D,
+* **heartbeat** doing mesh balancing, score decay and IHAVE gossip,
+* **IHAVE/IWANT** lazy message pull for non-mesh neighbors,
+* **validation hooks** with v1.1 semantics — ACCEPT relays, IGNORE drops
+  silently (duplicates), REJECT drops *and* penalises the forwarding peer,
+  which is how an RLN validator plugs in (§III-F: "the effect of their
+  attack is ... easily addressable by leveraging peer scoring"),
+* optional **peer scoring** (the baseline defence of experiment E8).
+
+Messages carry no publisher identity; ids are content-derived — the
+receiver-anonymity property gossip routing gives WAKU-RELAY (§I).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable
+
+from repro.errors import NetworkError
+from repro.gossipsub.mcache import MessageCache, SeenCache
+from repro.gossipsub.messages import (
+    Graft,
+    IHave,
+    IWant,
+    PubSubMessage,
+    Prune,
+    RPC,
+    Subscribe,
+)
+from repro.gossipsub.scoring import PeerScoreKeeper, ScoreParams
+from repro.net.simulator import Simulator
+from repro.net.transport import Network
+
+
+class ValidationResult(Enum):
+    """v1.1 validation outcomes."""
+
+    ACCEPT = "accept"
+    IGNORE = "ignore"
+    REJECT = "reject"
+
+
+#: (from_peer, message) -> ValidationResult
+Validator = Callable[[str, PubSubMessage], ValidationResult]
+#: (message) -> None
+DeliveryCallback = Callable[[PubSubMessage], None]
+
+
+@dataclass(frozen=True)
+class GossipSubParams:
+    """Mesh and gossip parameters (libp2p defaults)."""
+
+    d: int = 6
+    d_lo: int = 4
+    d_hi: int = 12
+    d_lazy: int = 6
+    heartbeat_interval: float = 1.0
+    mcache_length: int = 5
+    mcache_gossip: int = 3
+    seen_ttl: float = 120.0
+
+    def __post_init__(self) -> None:
+        if not self.d_lo <= self.d <= self.d_hi:
+            raise NetworkError("need d_lo <= d <= d_hi")
+
+
+@dataclass
+class RouterStats:
+    """Counters used by the spam experiments."""
+
+    published: int = 0
+    delivered: int = 0
+    forwarded: int = 0
+    duplicates: int = 0
+    rejected: int = 0
+    ignored: int = 0
+    validations: int = 0
+    gossip_sent: int = 0
+    iwant_served: int = 0
+
+
+class GossipSubRouter:
+    """One peer's GossipSub state machine."""
+
+    def __init__(
+        self,
+        peer_id: str,
+        network: Network,
+        simulator: Simulator,
+        *,
+        params: GossipSubParams | None = None,
+        score_params: ScoreParams | None = None,
+        enable_scoring: bool = False,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.peer_id = peer_id
+        self.network = network
+        self.simulator = simulator
+        self.params = params or GossipSubParams()
+        self.rng = rng or random.Random(hash(peer_id) & 0xFFFFFFFF)
+        self.scoring = (
+            PeerScoreKeeper(score_params) if (enable_scoring or score_params) else None
+        )
+        self.stats = RouterStats()
+
+        self._topics: set[str] = set()
+        self._mesh: dict[str, set[str]] = {}
+        self._peer_topics: dict[str, set[str]] = {}
+        self._validators: dict[str, Validator] = {}
+        self._callbacks: dict[str, list[DeliveryCallback]] = {}
+        self._seen = SeenCache(ttl=self.params.seen_ttl)
+        self._announced_to: set[str] = set()
+        self._mcache = MessageCache(
+            history_length=self.params.mcache_length,
+            gossip_length=self.params.mcache_gossip,
+        )
+        self._started = False
+        self._stop_heartbeat: Callable[[], None] | None = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Register with the transport and begin heartbeating."""
+        if self._started:
+            return
+        self.network.register(self.peer_id, self._on_rpc)
+        # Desynchronise heartbeats across peers like libp2p does.
+        initial_delay = self.rng.uniform(0.1, self.params.heartbeat_interval)
+        self._stop_heartbeat = self.simulator.every(
+            self.params.heartbeat_interval, self.heartbeat, start_delay=initial_delay
+        )
+        self._started = True
+        if self._topics:
+            self._announce_subscriptions(self._topics, subscribe=True)
+
+    def stop(self) -> None:
+        if self._stop_heartbeat is not None:
+            self._stop_heartbeat()
+            self._stop_heartbeat = None
+        self._started = False
+
+    # -- pubsub API -----------------------------------------------------------------
+
+    def subscribe(self, topic: str, callback: DeliveryCallback | None = None) -> None:
+        """Join a topic; messages validated ACCEPT are delivered to callbacks."""
+        new = topic not in self._topics
+        self._topics.add(topic)
+        self._mesh.setdefault(topic, set())
+        if callback is not None:
+            self._callbacks.setdefault(topic, []).append(callback)
+        if new and self._started:
+            self._announce_subscriptions({topic}, subscribe=True)
+            self._fill_mesh(topic)
+
+    def unsubscribe(self, topic: str) -> None:
+        if topic not in self._topics:
+            return
+        self._topics.remove(topic)
+        for peer in self._mesh.pop(topic, set()):
+            self._send(peer, RPC(prune=(Prune(topic=topic),)))
+        self._callbacks.pop(topic, None)
+        if self._started:
+            self._announce_subscriptions({topic}, subscribe=False)
+
+    def set_validator(self, topic: str, validator: Validator) -> None:
+        """Install the message validator for a topic (the RLN hook)."""
+        self._validators[topic] = validator
+
+    def publish(self, topic: str, payload: Any, msg_id: bytes) -> PubSubMessage:
+        """Publish a message authored by this peer."""
+        if topic not in self._topics:
+            raise NetworkError(f"{self.peer_id} is not subscribed to {topic!r}")
+        message = PubSubMessage(msg_id=msg_id, topic=topic, payload=payload)
+        self.stats.published += 1
+        self._seen.witness(msg_id, self.simulator.now)
+        self._mcache.put(message)
+        self._deliver_locally(message)
+        self._forward(message, exclude={self.peer_id})
+        return message
+
+    # -- mesh / membership views ---------------------------------------------------------
+
+    def mesh_peers(self, topic: str) -> set[str]:
+        return set(self._mesh.get(topic, set()))
+
+    def topic_peers(self, topic: str) -> set[str]:
+        """Neighbors known to be subscribed to ``topic``."""
+        return {
+            peer
+            for peer, topics in self._peer_topics.items()
+            if topic in topics and self.network.connected(self.peer_id, peer)
+        }
+
+    @property
+    def subscriptions(self) -> set[str]:
+        return set(self._topics)
+
+    # -- inbound RPC handling -----------------------------------------------------------
+
+    def _on_rpc(self, sender: str, rpc: RPC) -> None:
+        if self.scoring and self.scoring.graylisted(sender, self.simulator.now):
+            return
+        for subscription in rpc.subscriptions:
+            self._handle_subscription(sender, subscription)
+        for graft in rpc.graft:
+            self._handle_graft(sender, graft)
+        for prune in rpc.prune:
+            self._handle_prune(sender, prune)
+        for message in rpc.messages:
+            self._handle_message(sender, message)
+        for ihave in rpc.ihave:
+            self._handle_ihave(sender, ihave)
+        for iwant in rpc.iwant:
+            self._handle_iwant(sender, iwant)
+
+    def _handle_subscription(self, sender: str, subscription: Subscribe) -> None:
+        # Late joiners (connections established after start) learn our
+        # subscriptions through this handshake, mirroring libp2p's
+        # exchange-on-connect behaviour.
+        if (
+            self._started
+            and sender not in self._announced_to
+            and self._topics
+            and self.network.connected(self.peer_id, sender)
+        ):
+            self._announced_to.add(sender)
+            subs = tuple(
+                Subscribe(topic=t, subscribe=True) for t in sorted(self._topics)
+            )
+            self._send(sender, RPC(subscriptions=subs))
+        topics = self._peer_topics.setdefault(sender, set())
+        if subscription.subscribe:
+            topics.add(subscription.topic)
+        else:
+            topics.discard(subscription.topic)
+            mesh = self._mesh.get(subscription.topic)
+            if mesh and sender in mesh:
+                mesh.remove(sender)
+                if self.scoring:
+                    self.scoring.on_leave_mesh(sender, self.simulator.now)
+
+    def _handle_graft(self, sender: str, graft: Graft) -> None:
+        topic = graft.topic
+        if topic not in self._topics:
+            self._send(sender, RPC(prune=(Prune(topic=topic),)))
+            return
+        if self.scoring and not self.scoring.mesh_eligible(sender, self.simulator.now):
+            self._send(sender, RPC(prune=(Prune(topic=topic),)))
+            if self.scoring:
+                self.scoring.on_behaviour_penalty(sender)
+            return
+        mesh = self._mesh.setdefault(topic, set())
+        if sender not in mesh:
+            mesh.add(sender)
+            if self.scoring:
+                self.scoring.on_join_mesh(sender, self.simulator.now)
+
+    def _handle_prune(self, sender: str, prune: Prune) -> None:
+        mesh = self._mesh.get(prune.topic)
+        if mesh and sender in mesh:
+            mesh.remove(sender)
+            if self.scoring:
+                self.scoring.on_leave_mesh(sender, self.simulator.now)
+
+    def _handle_message(self, sender: str, message: PubSubMessage) -> None:
+        if self._seen.witness(message.msg_id, self.simulator.now):
+            self.stats.duplicates += 1
+            return
+        result = self._validate(sender, message)
+        if result is ValidationResult.REJECT:
+            self.stats.rejected += 1
+            if self.scoring:
+                self.scoring.on_invalid_message(sender)
+            return
+        if result is ValidationResult.IGNORE:
+            self.stats.ignored += 1
+            return
+        if self.scoring:
+            self.scoring.on_first_delivery(sender)
+        self._mcache.put(message)
+        self._deliver_locally(message)
+        self._forward(message, exclude={sender})
+
+    def _handle_ihave(self, sender: str, ihave: IHave) -> None:
+        if self.scoring and not self.scoring.accepts_gossip(sender, self.simulator.now):
+            return
+        if ihave.topic not in self._topics:
+            return
+        wanted = tuple(i for i in ihave.msg_ids if i not in self._seen)
+        if wanted:
+            self._send(sender, RPC(iwant=(IWant(msg_ids=wanted),)))
+
+    def _handle_iwant(self, sender: str, iwant: IWant) -> None:
+        found = []
+        for msg_id in iwant.msg_ids:
+            message = self._mcache.get(msg_id)
+            if message is not None:
+                found.append(message)
+        if found:
+            self.stats.iwant_served += len(found)
+            self._send(sender, RPC(messages=tuple(found)))
+
+    # -- validation & delivery ------------------------------------------------------------
+
+    def _validate(self, sender: str, message: PubSubMessage) -> ValidationResult:
+        validator = self._validators.get(message.topic)
+        if validator is None:
+            return ValidationResult.ACCEPT
+        self.stats.validations += 1
+        return validator(sender, message)
+
+    def _deliver_locally(self, message: PubSubMessage) -> None:
+        if message.topic not in self._topics:
+            return
+        self.stats.delivered += 1
+        for callback in list(self._callbacks.get(message.topic, [])):
+            callback(message)
+
+    def _forward(self, message: PubSubMessage, *, exclude: set[str]) -> None:
+        """Relay to mesh peers (or all topic peers while the mesh is thin)."""
+        targets = set(self._mesh.get(message.topic, set()))
+        if len(targets - exclude) == 0:
+            targets = self.topic_peers(message.topic)
+        now = self.simulator.now
+        for peer in sorted(targets - exclude):
+            if self.scoring and not self.scoring.accepts_publish(peer, now):
+                continue
+            self.stats.forwarded += 1
+            self._send(peer, RPC(messages=(message,)))
+
+    # -- heartbeat ---------------------------------------------------------------------------
+
+    def heartbeat(self) -> None:
+        """Mesh balancing, score decay, gossip emission, mcache rotation."""
+        now = self.simulator.now
+        if self.scoring:
+            self.scoring.decay_scores()
+        for topic in self._topics:
+            mesh = self._mesh.setdefault(topic, set())
+            # Drop mesh members that are no longer neighbors or score too low.
+            for peer in sorted(mesh):
+                connected = self.network.connected(self.peer_id, peer)
+                eligible = (
+                    self.scoring is None or self.scoring.mesh_eligible(peer, now)
+                )
+                if not connected or not eligible:
+                    mesh.remove(peer)
+                    if self.scoring:
+                        self.scoring.on_leave_mesh(peer, now)
+                    if connected:
+                        self._send(peer, RPC(prune=(Prune(topic=topic),)))
+            if len(mesh) < self.params.d_lo:
+                self._fill_mesh(topic)
+            elif len(mesh) > self.params.d_hi:
+                self._shrink_mesh(topic)
+            self._emit_gossip(topic)
+        self._mcache.shift()
+
+    def _fill_mesh(self, topic: str) -> None:
+        mesh = self._mesh.setdefault(topic, set())
+        now = self.simulator.now
+        candidates = [
+            peer
+            for peer in self.topic_peers(topic)
+            if peer not in mesh
+            and (self.scoring is None or self.scoring.mesh_eligible(peer, now))
+        ]
+        self.rng.shuffle(candidates)
+        while len(mesh) < self.params.d and candidates:
+            peer = candidates.pop()
+            mesh.add(peer)
+            if self.scoring:
+                self.scoring.on_join_mesh(peer, now)
+            self._send(peer, RPC(graft=(Graft(topic=topic),)))
+
+    def _shrink_mesh(self, topic: str) -> None:
+        mesh = self._mesh[topic]
+        now = self.simulator.now
+        # Keep the best-scored peers; prune the rest down to D.
+        ranked = sorted(
+            mesh,
+            key=lambda p: self.scoring.score(p, now) if self.scoring else self.rng.random(),
+            reverse=True,
+        )
+        for peer in ranked[self.params.d :]:
+            mesh.remove(peer)
+            if self.scoring:
+                self.scoring.on_leave_mesh(peer, now)
+            self._send(peer, RPC(prune=(Prune(topic=topic),)))
+
+    def _emit_gossip(self, topic: str) -> None:
+        ids = self._mcache.gossip_ids(topic)
+        if not ids:
+            return
+        now = self.simulator.now
+        mesh = self._mesh.get(topic, set())
+        candidates = [
+            peer
+            for peer in self.topic_peers(topic)
+            if peer not in mesh
+            and (self.scoring is None or self.scoring.accepts_gossip(peer, now))
+        ]
+        self.rng.shuffle(candidates)
+        for peer in candidates[: self.params.d_lazy]:
+            self.stats.gossip_sent += 1
+            self._send(peer, RPC(ihave=(IHave(topic=topic, msg_ids=tuple(ids)),)))
+
+    # -- helpers ---------------------------------------------------------------------------------
+
+    def _announce_subscriptions(self, topics: set[str], *, subscribe: bool) -> None:
+        subs = tuple(Subscribe(topic=t, subscribe=subscribe) for t in sorted(topics))
+        for neighbor in self.network.neighbors(self.peer_id):
+            self._announced_to.add(neighbor)
+            self._send(neighbor, RPC(subscriptions=subs))
+
+    def _send(self, peer: str, rpc: RPC) -> None:
+        if rpc.is_empty():
+            return
+        if not self.network.connected(self.peer_id, peer):
+            return
+        self.network.send(self.peer_id, peer, rpc)

@@ -1,0 +1,40 @@
+"""Network substrate: event simulator, clocks, latency, topology, transport."""
+
+from repro.net.simulator import EventHandle, Simulator
+from repro.net.clock import DriftModel, PeerClock
+from repro.net.latency import (
+    ConstantLatency,
+    LatencyModel,
+    LogNormalLatency,
+    UniformLatency,
+    dissemination_bound,
+)
+from repro.net.topology import (
+    erdos_renyi,
+    full_mesh,
+    peer_names,
+    random_regular,
+    small_world,
+    star,
+)
+from repro.net.transport import Network, TrafficStats
+
+__all__ = [
+    "EventHandle",
+    "Simulator",
+    "DriftModel",
+    "PeerClock",
+    "ConstantLatency",
+    "LatencyModel",
+    "LogNormalLatency",
+    "UniformLatency",
+    "dissemination_bound",
+    "erdos_renyi",
+    "full_mesh",
+    "peer_names",
+    "random_regular",
+    "small_world",
+    "star",
+    "Network",
+    "TrafficStats",
+]

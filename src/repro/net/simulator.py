@@ -1,0 +1,165 @@
+"""Deterministic discrete-event simulator.
+
+All timed behaviour in the reproduction — message latency, GossipSub
+heartbeats, block mining, epoch ticks, clock drift — runs on this event
+loop.  Determinism matters: every experiment seeds its own
+:class:`random.Random`, so runs are exactly reproducible.
+
+The simulator is deliberately minimal: a time-ordered heap of callbacks, a
+``schedule`` primitive, recurring tickers built on top of it, and run-until
+loops.  No threads, no asyncio; simulated seconds are just floats.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import NetworkError
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Returned by :meth:`Simulator.schedule`; allows cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class Simulator:
+    """A single-threaded discrete-event loop.
+
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(5.0, lambda: fired.append(sim.now))
+    >>> sim.run(until=10.0)
+    >>> fired
+    [5.0]
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: list[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._processed = 0
+
+    # -- scheduling ------------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise NetworkError(f"cannot schedule {delay}s in the past")
+        return self.schedule_at(self.now + delay, callback)
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` at absolute simulated time ``when``."""
+        if when < self.now:
+            raise NetworkError(f"cannot schedule at {when} < now {self.now}")
+        event = _ScheduledEvent(time=when, sequence=next(self._sequence), callback=callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        *,
+        start_delay: float | None = None,
+    ) -> Callable[[], None]:
+        """Recurring ticker; returns a stop function.
+
+        Used for GossipSub heartbeats, block mining, and epoch advancement.
+        """
+        if interval <= 0:
+            raise NetworkError("ticker interval must be positive")
+        stopped = False
+
+        def tick() -> None:
+            if stopped:
+                return
+            callback()
+            if not stopped:
+                self.schedule(interval, tick)
+
+        self.schedule(interval if start_delay is None else start_delay, tick)
+
+        def stop() -> None:
+            nonlocal stopped
+            stopped = True
+
+        return stop
+
+    # -- execution --------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Process the next event; False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time < self.now:
+                raise NetworkError("event queue went backwards in time")
+            self.now = event.time
+            event.callback()
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, until: float) -> None:
+        """Process every event with time <= ``until``; clock ends at ``until``."""
+        if until < self.now:
+            raise NetworkError(f"cannot run until {until} < now {self.now}")
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > until:
+                break
+            self.step()
+        self.now = until
+
+    def run_until_idle(self, *, max_time: float = float("inf"), max_events: int = 10_000_000) -> None:
+        """Drain the queue (bounded by ``max_time`` / ``max_events``)."""
+        events = 0
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > max_time:
+                break
+            self.step()
+            events += 1
+            if events > max_events:
+                raise NetworkError(f"exceeded {max_events} events; runaway ticker?")
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    @property
+    def processed_events(self) -> int:
+        return self._processed

@@ -1,0 +1,173 @@
+"""Point-to-point transport over the event simulator.
+
+Sits between the topology graph and the GossipSub routers: delivers opaque
+payloads over graph edges with sampled latency, and accounts bandwidth per
+peer — the resource the paper's spammers burn ("peers ... have to spend
+their resources e.g., computational power, bandwidth and storage capacity
+on processing spam messages", §I).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import networkx as nx
+
+from repro.errors import NotConnected, UnknownPeer
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net.simulator import Simulator
+
+Handler = Callable[[str, Any], None]  # (sender, payload) -> None
+
+
+@dataclass
+class TrafficStats:
+    """Per-peer bandwidth accounting."""
+
+    messages_sent: int = 0
+    messages_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+    def record_send(self, size: int) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += size
+
+    def record_receive(self, size: int) -> None:
+        self.messages_received += 1
+        self.bytes_received += size
+
+
+@dataclass
+class Network:
+    """Message passing restricted to topology edges.
+
+    Payloads must expose a ``byte_size()`` method or define ``__len__`` for
+    bandwidth accounting; anything else counts a flat overhead.
+    """
+
+    simulator: Simulator
+    graph: nx.Graph
+    latency: LatencyModel = field(default_factory=ConstantLatency)
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+    drop_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        self._handlers: dict[tuple[str, str], Handler] = {}
+        self.stats: dict[str, TrafficStats] = {
+            peer: TrafficStats() for peer in self.graph.nodes
+        }
+
+    # -- wiring ------------------------------------------------------------
+
+    def register(self, peer: str, handler: Handler, *, protocol: str = "gossipsub") -> None:
+        """Install the inbound handler for one (peer, protocol) channel.
+
+        Separate protocol channels let GossipSub share the wire with the
+        request/response protocols (13/WAKU2-STORE, 12/WAKU2-FILTER) the
+        way libp2p stream multiplexing does.
+        """
+        if peer not in self.graph:
+            raise UnknownPeer(f"{peer!r} is not in the topology")
+        self._handlers[(peer, protocol)] = handler
+
+    def add_peer(self, peer: str, neighbors: list[str]) -> None:
+        """Join a new peer to the topology at runtime.
+
+        Used by churn scenarios and by the bot-army attack, whose whole
+        point (§I) is that fresh peer identities are free to mint.
+        """
+        if peer in self.graph:
+            raise UnknownPeer(f"{peer!r} already exists")
+        self.graph.add_node(peer)
+        self.stats[peer] = TrafficStats()
+        for neighbor in neighbors:
+            if neighbor not in self.graph:
+                raise UnknownPeer(f"neighbor {neighbor!r} does not exist")
+            self.graph.add_edge(peer, neighbor)
+
+    def remove_peer(self, peer: str) -> None:
+        """Detach a peer (bot retirement / churn); stats are retained."""
+        if peer in self.graph:
+            self.graph.remove_node(peer)
+        for key in [k for k in self._handlers if k[0] == peer]:
+            del self._handlers[key]
+
+    def neighbors(self, peer: str) -> list[str]:
+        if peer not in self.graph:
+            raise UnknownPeer(f"{peer!r} is not in the topology")
+        return sorted(self.graph.neighbors(peer))
+
+    def connected(self, a: str, b: str) -> bool:
+        return self.graph.has_edge(a, b)
+
+    def disconnect(self, a: str, b: str) -> None:
+        """Tear down a link (used when peers prune/ban each other)."""
+        if self.graph.has_edge(a, b):
+            self.graph.remove_edge(a, b)
+
+    # -- sending ---------------------------------------------------------------
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        payload: Any,
+        *,
+        protocol: str = "gossipsub",
+        require_edge: bool = True,
+    ) -> None:
+        """Deliver ``payload`` from ``src`` to ``dst`` after link latency.
+
+        ``require_edge=False`` models overlay protocols (e.g. a DHT) that
+        dial any reachable peer directly instead of using mesh links.
+        """
+        if src not in self.graph or dst not in self.graph:
+            raise UnknownPeer(f"unknown endpoint in {src!r} -> {dst!r}")
+        if require_edge and not self.graph.has_edge(src, dst):
+            raise NotConnected(f"{src!r} and {dst!r} are not neighbors")
+        size = _payload_size(payload)
+        self.stats[src].record_send(size)
+        if self.drop_probability and self.rng.random() < self.drop_probability:
+            return
+        delay = self.latency.sample(src, dst, self.rng)
+
+        def deliver() -> None:
+            handler = self._handlers.get((dst, protocol))
+            if handler is None:
+                return  # peer went offline before delivery
+            self.stats[dst].record_receive(size)
+            handler(src, payload)
+
+        self.simulator.schedule(delay, deliver)
+
+    def broadcast(self, src: str, payload: Any, *, exclude: set[str] | None = None) -> int:
+        """Send to every neighbor except ``exclude``; returns the fan-out."""
+        exclude = exclude or set()
+        count = 0
+        for neighbor in self.neighbors(src):
+            if neighbor in exclude:
+                continue
+            self.send(src, neighbor, payload)
+            count += 1
+        return count
+
+    # -- accounting ----------------------------------------------------------------
+
+    def total_bytes(self) -> int:
+        return sum(s.bytes_sent for s in self.stats.values())
+
+    def total_messages(self) -> int:
+        return sum(s.messages_sent for s in self.stats.values())
+
+
+def _payload_size(payload: Any) -> int:
+    byte_size = getattr(payload, "byte_size", None)
+    if callable(byte_size):
+        return int(byte_size())
+    try:
+        return len(payload)
+    except TypeError:
+        return 64  # flat control-message overhead

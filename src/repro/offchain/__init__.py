@@ -1,0 +1,25 @@
+"""Off-chain group management (§IV-A future work): DHT + CRDT registry."""
+
+from repro.offchain.kademlia import (
+    DHTConfig,
+    KademliaNode,
+    distance,
+    key_id,
+    node_id,
+)
+from repro.offchain.group_registry import (
+    DistributedGroupManager,
+    GroupSnapshot,
+    MembershipRecord,
+)
+
+__all__ = [
+    "DHTConfig",
+    "KademliaNode",
+    "distance",
+    "key_id",
+    "node_id",
+    "DistributedGroupManager",
+    "GroupSnapshot",
+    "MembershipRecord",
+]

@@ -1,0 +1,40 @@
+"""The Waku protocol family: relay, store, filter, message format."""
+
+from repro.waku.message import DEFAULT_PUBSUB_TOPIC, WakuMessage
+from repro.waku.relay import WakuRelay
+from repro.waku.store import (
+    HistoryQuery,
+    HistoryResponse,
+    StoreClient,
+    StoreNode,
+)
+from repro.waku.filter import (
+    FilterClient,
+    FilterNode,
+    FilterSubscribeRequest,
+    MessagePush,
+)
+from repro.waku.lightpush import (
+    LightPushClient,
+    LightPushNode,
+    PushRequest,
+    PushResponse,
+)
+
+__all__ = [
+    "DEFAULT_PUBSUB_TOPIC",
+    "WakuMessage",
+    "WakuRelay",
+    "HistoryQuery",
+    "HistoryResponse",
+    "StoreClient",
+    "StoreNode",
+    "FilterClient",
+    "FilterNode",
+    "FilterSubscribeRequest",
+    "MessagePush",
+    "LightPushClient",
+    "LightPushNode",
+    "PushRequest",
+    "PushResponse",
+]

@@ -1,0 +1,129 @@
+"""12/WAKU2-FILTER — lightweight content filtering for bandwidth-limited peers.
+
+§I of the paper: a light version of WAKU-RELAY "for devices with limited
+bandwidth".  A light node registers a content-topic filter with a full
+node; the full node pushes only matching messages, so the light node never
+joins the mesh or receives unrelated traffic.
+
+Two roles:
+
+* :class:`FilterNode` — a full (relay) peer serving subscriptions;
+* :class:`FilterClient` — a light peer that subscribes and receives pushes.
+
+Traffic flows over the transport's ``filter`` protocol channel.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.net.transport import Network
+from repro.waku.message import WakuMessage
+from repro.waku.relay import WakuRelay
+
+PROTOCOL = "filter"
+
+
+@dataclass(frozen=True)
+class FilterSubscribeRequest:
+    """Register (or remove) a light node's content filter."""
+
+    request_id: int
+    content_topics: tuple[str, ...]
+    subscribe: bool
+
+    def byte_size(self) -> int:
+        return 48 + sum(len(t) for t in self.content_topics)
+
+
+@dataclass(frozen=True)
+class MessagePush:
+    """A full node pushing one matching message to a light node."""
+
+    message: WakuMessage
+
+    def byte_size(self) -> int:
+        return 16 + self.message.byte_size()
+
+
+class FilterNode:
+    """Full-node side: tracks filters and pushes matching relayed traffic."""
+
+    def __init__(self, relay: WakuRelay, network: Network) -> None:
+        self.relay = relay
+        self.network = network
+        #: subscriber peer -> set of content topics
+        self._filters: dict[str, set[str]] = {}
+        relay.subscribe(self._on_relayed_message)
+        network.register(relay.peer_id, self._on_request, protocol=PROTOCOL)
+
+    def subscriber_count(self) -> int:
+        return len(self._filters)
+
+    def _on_request(self, sender: str, request: FilterSubscribeRequest) -> None:
+        if not isinstance(request, FilterSubscribeRequest):
+            return
+        if request.subscribe:
+            self._filters.setdefault(sender, set()).update(request.content_topics)
+        else:
+            topics = self._filters.get(sender)
+            if topics is not None:
+                topics.difference_update(request.content_topics)
+                if not topics:
+                    del self._filters[sender]
+
+    def _on_relayed_message(self, message: WakuMessage) -> None:
+        for subscriber, topics in self._filters.items():
+            if message.content_topic in topics:
+                if self.network.connected(self.relay.peer_id, subscriber):
+                    self.network.send(
+                        self.relay.peer_id,
+                        subscriber,
+                        MessagePush(message=message),
+                        protocol=PROTOCOL,
+                    )
+
+
+class FilterClient:
+    """Light-node side: subscribes to content topics, receives pushes."""
+
+    def __init__(self, peer_id: str, network: Network) -> None:
+        self.peer_id = peer_id
+        self.network = network
+        self._request_ids = itertools.count(1)
+        self._callbacks: dict[str, list[Callable[[WakuMessage], None]]] = {}
+        self.received: list[WakuMessage] = []
+        network.register(peer_id, self._on_push, protocol=PROTOCOL)
+
+    def subscribe(
+        self,
+        full_node: str,
+        content_topics: tuple[str, ...],
+        callback: Callable[[WakuMessage], None] | None = None,
+    ) -> None:
+        for topic in content_topics:
+            if callback is not None:
+                self._callbacks.setdefault(topic, []).append(callback)
+        request = FilterSubscribeRequest(
+            request_id=next(self._request_ids),
+            content_topics=content_topics,
+            subscribe=True,
+        )
+        self.network.send(self.peer_id, full_node, request, protocol=PROTOCOL)
+
+    def unsubscribe(self, full_node: str, content_topics: tuple[str, ...]) -> None:
+        request = FilterSubscribeRequest(
+            request_id=next(self._request_ids),
+            content_topics=content_topics,
+            subscribe=False,
+        )
+        self.network.send(self.peer_id, full_node, request, protocol=PROTOCOL)
+
+    def _on_push(self, sender: str, push: MessagePush) -> None:
+        if not isinstance(push, MessagePush):
+            return
+        self.received.append(push.message)
+        for callback in self._callbacks.get(push.message.content_topic, []):
+            callback(push.message)

@@ -1,0 +1,135 @@
+"""19/WAKU2-LIGHTPUSH — publishing for peers that cannot join the mesh.
+
+The filter protocol (§I) gives bandwidth-limited devices a *receive* path;
+lightpush is its publish-side twin in the Waku protocol family: the light
+client hands its message to a full relay node, which publishes it into the
+mesh and acknowledges.
+
+Interaction with RLN: the *light client* owns the membership and generates
+the rate-limit proof (the service node must not learn the client's secret
+key), so the message arrives at the service node already carrying its
+§III-E bundle.  The service node relays it like any other traffic — its
+own validator checks the proof before the mesh sees it, so a light client
+cannot use lightpush to bypass spam protection.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.gossipsub.router import ValidationResult
+from repro.net.transport import Network
+from repro.waku.message import WakuMessage
+from repro.waku.relay import WakuRelay
+
+PROTOCOL = "lightpush"
+
+
+@dataclass(frozen=True)
+class PushRequest:
+    """A light client asking a service node to publish on its behalf."""
+
+    request_id: int
+    message: WakuMessage
+
+    def byte_size(self) -> int:
+        return 16 + self.message.byte_size()
+
+
+@dataclass(frozen=True)
+class PushResponse:
+    """Acknowledgement (or rejection) of a push request."""
+
+    request_id: int
+    accepted: bool
+    reason: str = ""
+
+    def byte_size(self) -> int:
+        return 24 + len(self.reason)
+
+
+class LightPushNode:
+    """Service-node side: validates and publishes on behalf of clients.
+
+    ``validator`` is the same callable the relay's router uses (for
+    WAKU-RLN-RELAY peers, the §III-F pipeline); requests failing it are
+    rejected without touching the mesh.
+    """
+
+    def __init__(
+        self,
+        relay: WakuRelay,
+        network: Network,
+        *,
+        validator: Callable[[WakuMessage], ValidationResult] | None = None,
+    ) -> None:
+        self.relay = relay
+        self.network = network
+        self.validator = validator
+        self.served = 0
+        self.rejected = 0
+        network.register(relay.peer_id, self._on_request, protocol=PROTOCOL)
+
+    def _on_request(self, sender: str, request: PushRequest) -> None:
+        if not isinstance(request, PushRequest):
+            return
+        if self.validator is not None:
+            result = self.validator(request.message)
+            if result is not ValidationResult.ACCEPT:
+                self.rejected += 1
+                self.network.send(
+                    self.relay.peer_id,
+                    sender,
+                    PushResponse(
+                        request_id=request.request_id,
+                        accepted=False,
+                        reason=f"validation failed: {result.value}",
+                    ),
+                    protocol=PROTOCOL,
+                )
+                return
+        self.served += 1
+        self.relay.publish(request.message)
+        self.network.send(
+            self.relay.peer_id,
+            sender,
+            PushResponse(request_id=request.request_id, accepted=True),
+            protocol=PROTOCOL,
+        )
+
+
+class LightPushClient:
+    """Light-client side: push messages through a service node."""
+
+    def __init__(self, peer_id: str, network: Network) -> None:
+        self.peer_id = peer_id
+        self.network = network
+        self._request_ids = itertools.count(1)
+        self._pending: dict[int, Callable[[PushResponse], None]] = {}
+        network.register(peer_id, self._on_response, protocol=PROTOCOL)
+
+    def push(
+        self,
+        service_node: str,
+        message: WakuMessage,
+        on_response: Callable[[PushResponse], None] | None = None,
+    ) -> int:
+        request_id = next(self._request_ids)
+        if on_response is not None:
+            self._pending[request_id] = on_response
+        self.network.send(
+            self.peer_id,
+            service_node,
+            PushRequest(request_id=request_id, message=message),
+            protocol=PROTOCOL,
+        )
+        return request_id
+
+    def _on_response(self, sender: str, response: PushResponse) -> None:
+        if not isinstance(response, PushResponse):
+            return
+        handler = self._pending.pop(response.request_id, None)
+        if handler is not None:
+            handler(response)

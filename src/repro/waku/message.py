@@ -1,0 +1,49 @@
+"""The Waku message format (14/WAKU2-MESSAGE).
+
+Every protocol in the Waku family — relay, store, filter, and RLN-relay —
+moves :class:`WakuMessage` objects.  A message has a payload, a content
+topic (application-level routing key, distinct from the pubsub topic the
+relay meshes form around), a sender timestamp, and an optional
+``rate_limit_proof`` attached by WAKU-RLN-RELAY (§III-E's metadata bundle;
+typed as ``Any`` here because the proof structure lives in
+:mod:`repro.core.messages`, a layer above).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.crypto.hashing import message_id
+
+#: The default pubsub topic of Waku v2 networks.
+DEFAULT_PUBSUB_TOPIC = "/waku/2/default-waku/proto"
+
+
+@dataclass(frozen=True)
+class WakuMessage:
+    """One application message."""
+
+    payload: bytes
+    content_topic: str
+    timestamp: float = 0.0
+    ephemeral: bool = False
+    rate_limit_proof: Any = None
+
+    def message_id(self, pubsub_topic: str = DEFAULT_PUBSUB_TOPIC) -> bytes:
+        """Deterministic 32-byte id (content-addressed; no sender identity)."""
+        return message_id(
+            self.payload + self.content_topic.encode("utf-8"), pubsub_topic
+        )
+
+    def byte_size(self) -> int:
+        size = len(self.payload) + len(self.content_topic) + 8 + 1
+        proof = self.rate_limit_proof
+        if proof is not None:
+            inner = getattr(proof, "byte_size", None)
+            size += int(inner()) if callable(inner) else 128
+        return size
+
+    def with_proof(self, proof: Any) -> "WakuMessage":
+        """Copy of this message carrying a rate-limit proof."""
+        return replace(self, rate_limit_proof=proof)

@@ -1,0 +1,198 @@
+"""13/WAKU2-STORE — off-chain historical message storage.
+
+§III-A adjustment 2: WAKU-RLN-RELAY keeps messages *off-chain*; resourceful
+peers persist relayed traffic and serve it to querying nodes.  This module
+implements both roles:
+
+* :class:`StoreNode` — archives every message its relay delivers (bounded
+  ring buffer) and answers paginated history queries over the network;
+* :class:`StoreClient` — a (possibly light) peer issuing queries.
+
+Queries travel over the transport's ``store`` protocol channel, so they
+incur real simulated latency and appear in bandwidth accounting.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import NetworkError
+from repro.net.transport import Network
+from repro.waku.message import WakuMessage
+from repro.waku.relay import WakuRelay
+
+PROTOCOL = "store"
+
+#: Default archive capacity (messages).
+DEFAULT_CAPACITY = 10_000
+#: Default query page size.
+DEFAULT_PAGE_SIZE = 20
+
+
+@dataclass(frozen=True)
+class HistoryQuery:
+    """A paginated history request."""
+
+    request_id: int
+    content_topics: tuple[str, ...] = ()
+    start_time: float | None = None
+    end_time: float | None = None
+    cursor: int = 0
+    page_size: int = DEFAULT_PAGE_SIZE
+
+    def byte_size(self) -> int:
+        return 64 + sum(len(t) for t in self.content_topics)
+
+
+@dataclass(frozen=True)
+class HistoryResponse:
+    """One page of archived messages plus the continuation cursor."""
+
+    request_id: int
+    messages: tuple[WakuMessage, ...]
+    cursor: int | None  # None means no further pages
+
+    def byte_size(self) -> int:
+        return 64 + sum(m.byte_size() for m in self.messages)
+
+
+@dataclass
+class _ArchivedMessage:
+    message: WakuMessage
+    received_at: float
+    sequence: int
+
+
+class StoreNode:
+    """A resourceful peer persisting relayed messages (§III-A)."""
+
+    def __init__(
+        self,
+        relay: WakuRelay,
+        network: Network,
+        *,
+        capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        if capacity <= 0:
+            raise NetworkError("store capacity must be positive")
+        self.relay = relay
+        self.network = network
+        self.capacity = capacity
+        self._archive: deque[_ArchivedMessage] = deque(maxlen=capacity)
+        self._sequence = itertools.count()
+        relay.subscribe(self._archive_message)
+        network.register(relay.peer_id, self._on_request, protocol=PROTOCOL)
+
+    # -- archiving ----------------------------------------------------------
+
+    def _archive_message(self, message: WakuMessage) -> None:
+        if message.ephemeral:
+            return  # ephemeral messages opt out of storage (Waku semantics)
+        self._archive.append(
+            _ArchivedMessage(
+                message=message,
+                received_at=self.relay.router.simulator.now,
+                sequence=next(self._sequence),
+            )
+        )
+
+    def archived_count(self) -> int:
+        return len(self._archive)
+
+    # -- local query (used by tests and by the remote handler) ------------------
+
+    def query_local(self, query: HistoryQuery) -> HistoryResponse:
+        matches = [
+            entry
+            for entry in self._archive
+            if self._matches(entry, query) and entry.sequence >= query.cursor
+        ]
+        page = matches[: query.page_size]
+        if len(matches) > query.page_size:
+            cursor = page[-1].sequence + 1
+        else:
+            cursor = None
+        return HistoryResponse(
+            request_id=query.request_id,
+            messages=tuple(entry.message for entry in page),
+            cursor=cursor,
+        )
+
+    @staticmethod
+    def _matches(entry: _ArchivedMessage, query: HistoryQuery) -> bool:
+        message = entry.message
+        if query.content_topics and message.content_topic not in query.content_topics:
+            return False
+        if query.start_time is not None and message.timestamp < query.start_time:
+            return False
+        if query.end_time is not None and message.timestamp > query.end_time:
+            return False
+        return True
+
+    # -- network handler -----------------------------------------------------------
+
+    def _on_request(self, sender: str, query: HistoryQuery) -> None:
+        if not isinstance(query, HistoryQuery):
+            return
+        response = self.query_local(query)
+        self.network.send(self.relay.peer_id, sender, response, protocol=PROTOCOL)
+
+
+class StoreClient:
+    """Issues history queries to store nodes; collates paginated results."""
+
+    def __init__(self, peer_id: str, network: Network) -> None:
+        self.peer_id = peer_id
+        self.network = network
+        self._request_ids = itertools.count(1)
+        self._pending: dict[int, Callable[[HistoryResponse], None]] = {}
+        network.register(peer_id, self._on_response, protocol=PROTOCOL)
+
+    def query(
+        self,
+        store_peer: str,
+        *,
+        content_topics: tuple[str, ...] = (),
+        start_time: float | None = None,
+        end_time: float | None = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        on_complete: Callable[[list[WakuMessage]], None],
+    ) -> None:
+        """Fetch the full (multi-page) history matching the filters.
+
+        ``on_complete`` fires once with all pages collated, after however
+        many round trips pagination requires.
+        """
+        collected: list[WakuMessage] = []
+
+        def request_page(cursor: int) -> None:
+            request_id = next(self._request_ids)
+            query = HistoryQuery(
+                request_id=request_id,
+                content_topics=content_topics,
+                start_time=start_time,
+                end_time=end_time,
+                cursor=cursor,
+                page_size=page_size,
+            )
+            self._pending[request_id] = handle_page
+            self.network.send(self.peer_id, store_peer, query, protocol=PROTOCOL)
+
+        def handle_page(response: HistoryResponse) -> None:
+            collected.extend(response.messages)
+            if response.cursor is None:
+                on_complete(collected)
+            else:
+                request_page(response.cursor)
+
+        request_page(0)
+
+    def _on_response(self, sender: str, response: HistoryResponse) -> None:
+        if not isinstance(response, HistoryResponse):
+            return
+        handler = self._pending.pop(response.request_id, None)
+        if handler is not None:
+            handler(response)

@@ -1,0 +1,59 @@
+"""zkSNARK layer: R1CS, the RLN circuit, simulated Groth16, trusted setup."""
+
+from repro.zksnark.r1cs import Constraint, ConstraintSystem, LinearCombination
+from repro.zksnark.rln_circuit import (
+    PUBLIC_INPUT_ORDER,
+    CircuitShape,
+    RLNPublicInputs,
+    RLNWitness,
+    circuit_shape,
+    synthesize,
+)
+from repro.zksnark.groth16 import (
+    PROOF_SIZE,
+    Groth16,
+    Proof,
+    ProvingKey,
+    VerifyingKey,
+    setup,
+)
+from repro.zksnark.prover import (
+    Groth16Prover,
+    NativeProver,
+    RLNProver,
+    reset_shared_provers,
+    shared_prover,
+)
+from repro.zksnark.trusted_setup import (
+    Ceremony,
+    Contribution,
+    SetupParameters,
+    run_default_ceremony,
+)
+
+__all__ = [
+    "Constraint",
+    "ConstraintSystem",
+    "LinearCombination",
+    "PUBLIC_INPUT_ORDER",
+    "CircuitShape",
+    "RLNPublicInputs",
+    "RLNWitness",
+    "circuit_shape",
+    "synthesize",
+    "PROOF_SIZE",
+    "Groth16",
+    "Proof",
+    "ProvingKey",
+    "VerifyingKey",
+    "setup",
+    "Groth16Prover",
+    "NativeProver",
+    "RLNProver",
+    "reset_shared_provers",
+    "shared_prover",
+    "Ceremony",
+    "Contribution",
+    "SetupParameters",
+    "run_default_ceremony",
+]

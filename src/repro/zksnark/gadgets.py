@@ -1,0 +1,164 @@
+"""R1CS gadgets: Poseidon, Merkle-path verification, and RLN share algebra.
+
+A gadget takes symbolic :class:`LinearCombination` inputs, emits the
+constraints that define one sub-computation, and returns symbolic outputs.
+When the constraint system carries a witness assignment, gadgets also assign
+concrete values as they go, so circuit compilation and witness generation
+happen in one pass (the style of bellman/arkworks synthesizers).
+
+The Poseidon gadget replays :func:`repro.crypto.poseidon.poseidon_permutation`
+*exactly*: same round constants, same MDS matrix, same round schedule.  Tests
+cross-check gadget outputs against the native hash on random inputs, which
+pins the circuit to the out-of-circuit cryptography.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.crypto.field import FieldElement
+from repro.crypto.poseidon import ALPHA, PoseidonParams, poseidon_params
+from repro.errors import SnarkError
+from repro.zksnark.r1cs import ConstraintSystem, LinearCombination
+
+LC = LinearCombination
+
+
+def sbox_gadget(cs: ConstraintSystem, x: LC, tag: str) -> LC:
+    """x^5 via two squarings and a final multiply: 3 constraints."""
+    if ALPHA != 5:
+        raise SnarkError("sbox_gadget is specialised to alpha = 5")
+    x2 = cs.multiply(x, x, f"{tag}:x2")
+    x4 = cs.multiply(x2, x2, f"{tag}:x4")
+    return cs.multiply(x4, x, f"{tag}:x5")
+
+
+def _mds_mix(state: list[LC], params: PoseidonParams) -> list[LC]:
+    """Linear layer — free in R1CS, folded into the LCs."""
+    mixed: list[LC] = []
+    for row in params.mds:
+        acc = LC()
+        for coeff, lane in zip(row, state):
+            acc = acc + lane * coeff
+        mixed.append(acc)
+    return mixed
+
+
+def poseidon_permutation_gadget(
+    cs: ConstraintSystem, state: Sequence[LC], params: PoseidonParams, tag: str
+) -> list[LC]:
+    """Constrain one Poseidon permutation; returns the output state LCs."""
+    t = params.t
+    if len(state) != t:
+        raise SnarkError(f"state width {len(state)} != t={t}")
+    lanes = list(state)
+    half_full = params.full_rounds // 2
+    total = params.total_rounds
+    for round_index in range(total):
+        constants = params.round_constants[round_index]
+        lanes = [lanes[i] + LC.constant(constants[i]) for i in range(t)]
+        is_full = round_index < half_full or round_index >= total - half_full
+        if is_full:
+            lanes = [
+                sbox_gadget(cs, lane, f"{tag}:r{round_index}l{i}")
+                for i, lane in enumerate(lanes)
+            ]
+        else:
+            lanes[0] = sbox_gadget(cs, lanes[0], f"{tag}:r{round_index}l0")
+        lanes = _mds_mix(lanes, params)
+    return lanes
+
+
+def poseidon_hash_gadget(cs: ConstraintSystem, inputs: Sequence[LC], tag: str) -> LC:
+    """Constrain ``poseidon_hash(inputs)``; returns the digest LC.
+
+    Mirrors the sponge convention of the native implementation: capacity
+    lane initialised to the input arity.
+    """
+    n = len(inputs)
+    params = poseidon_params(n + 1)
+    state = [LC.constant(n)] + list(inputs)
+    return poseidon_permutation_gadget(cs, state, params, tag)[0]
+
+
+def conditional_swap_gadget(
+    cs: ConstraintSystem, left: LC, right: LC, bit: LC, tag: str
+) -> tuple[LC, LC]:
+    """Return (left, right) if bit = 0, (right, left) if bit = 1.
+
+    One multiplication constraint: delta = bit * (right - left), then
+    out_l = left + delta and out_r = right - delta.  The bit must already be
+    boolean-constrained by the caller.
+    """
+    delta = cs.multiply(bit, right - left, f"{tag}:swap")
+    return left + delta, right - delta
+
+
+def merkle_path_gadget(
+    cs: ConstraintSystem,
+    leaf: LC,
+    path_bits: Sequence[LC],
+    siblings: Sequence[LC],
+    tag: str,
+) -> LC:
+    """Fold an authentication path upward; returns the root LC.
+
+    ``path_bits[i] = 1`` means the running node is the *right* child at
+    level i (same convention as :class:`repro.crypto.merkle.MerkleProof`).
+    Each level costs one boolean constraint, one swap constraint, and one
+    Poseidon permutation.
+    """
+    if len(path_bits) != len(siblings):
+        raise SnarkError("path_bits and siblings must have equal length")
+    node = leaf
+    for level, (bit, sibling) in enumerate(zip(path_bits, siblings)):
+        cs.enforce_boolean(bit, f"{tag}:bit{level}")
+        left, right = conditional_swap_gadget(cs, node, sibling, bit, f"{tag}:lvl{level}")
+        node = poseidon_hash_gadget(cs, [left, right], f"{tag}:hash{level}")
+    return node
+
+
+def rln_share_gadget(cs: ConstraintSystem, sk: LC, a1: LC, x: LC, tag: str) -> LC:
+    """Constrain y = sk + a1 * x; returns the y LC."""
+    product = cs.multiply(a1, x, f"{tag}:a1x")
+    return sk + product
+
+
+def bit_decompose_gadget(cs: ConstraintSystem, value: LC, bit_count: int, tag: str) -> list[LC]:
+    """Constrain ``value`` to equal its ``bit_count``-bit decomposition.
+
+    Allocates one boolean variable per bit (little-endian) and enforces
+    ``sum(bit_i * 2^i) = value``; proves 0 <= value < 2^bit_count.
+    """
+    try:
+        concrete = cs.value_of(value).value
+    except SnarkError:
+        concrete = None
+    bits: list[LC] = []
+    acc = LC()
+    for i in range(bit_count):
+        bit_value = (
+            FieldElement((concrete >> i) & 1) if concrete is not None else None
+        )
+        bit = LC.variable(cs.allocate(bit_value))
+        cs.enforce_boolean(bit, f"{tag}:bit{i}")
+        bits.append(bit)
+        acc = acc + bit * (1 << i)
+    cs.enforce_equal(acc, value, f"{tag}:recompose")
+    return bits
+
+
+def enforce_less_than_constant(
+    cs: ConstraintSystem, value: LC, bound: int, bit_count: int, tag: str
+) -> None:
+    """Constrain ``0 <= value < bound`` for a public constant ``bound``.
+
+    Standard range-check pair: both ``value`` and ``bound - 1 - value``
+    must fit in ``bit_count`` bits (requires ``bound <= 2^bit_count``,
+    which the caller guarantees).  Used by the RLN-v2 circuit to prove
+    ``message_id < message_limit`` without revealing the id.
+    """
+    if bound < 1 or bound > (1 << bit_count):
+        raise SnarkError(f"bound {bound} not representable in {bit_count} bits")
+    bit_decompose_gadget(cs, value, bit_count, f"{tag}:lo")
+    bit_decompose_gadget(cs, LC.constant(bound - 1) - value, bit_count, f"{tag}:hi")

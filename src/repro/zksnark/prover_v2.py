@@ -1,0 +1,100 @@
+"""Provers for the RLN-v2 (multi-message) circuit.
+
+Same two-backend structure as :mod:`repro.zksnark.prover`: the Groth16
+backend runs the full R1CS pipeline over :func:`synthesize_v2`; the native
+backend re-derives the identical statement with direct field arithmetic.
+Both share the simulated-pairing proof object, so v2 proofs remain 128
+bytes and constant-time to verify.
+"""
+
+from __future__ import annotations
+
+import hmac
+import secrets
+import time
+
+from repro.crypto.identity import derive_commitment
+from repro.errors import ProvingError, SnarkError
+from repro.zksnark.groth16 import Proof, _pairing_tag
+from repro.zksnark.rln_v2_circuit import (
+    RLNv2PublicInputs,
+    RLNv2Witness,
+    circuit_shape_v2,
+    derive_nullifier_v2,
+    derive_slope_v2,
+    synthesize_v2,
+)
+from repro.zksnark.trusted_setup import run_default_ceremony
+
+
+class Groth16ProverV2:
+    """Full-circuit prover for the v2 statement."""
+
+    def __init__(self, depth: int, message_limit: int) -> None:
+        self.depth = depth
+        self.message_limit = message_limit
+        shape = circuit_shape_v2(depth, message_limit)
+        self._params = run_default_ceremony(shape)
+        self.last_prove_seconds = 0.0
+        self.last_verify_seconds = 0.0
+
+    def prove(self, public: RLNv2PublicInputs, witness: RLNv2Witness) -> Proof:
+        start = time.perf_counter()
+        cs = synthesize_v2(self.depth, self.message_limit, public=public, witness=witness)
+        try:
+            cs.check_satisfied()
+        except SnarkError as exc:
+            raise ProvingError(f"witness does not satisfy the RLN-v2 circuit: {exc}") from exc
+        a = secrets.token_bytes(32)
+        b = secrets.token_bytes(64)
+        c = _pairing_tag(self._params, public.serialize(), a, b)
+        self.last_prove_seconds = time.perf_counter() - start
+        return Proof(a=a, b=b, c=c)
+
+    def verify(self, public: RLNv2PublicInputs, proof: Proof) -> bool:
+        start = time.perf_counter()
+        expected = _pairing_tag(self._params, public.serialize(), proof.a, proof.b)
+        ok = hmac.compare_digest(expected, proof.c)
+        self.last_verify_seconds = time.perf_counter() - start
+        return ok
+
+
+class NativeProverV2:
+    """Statement-equivalent fast prover for the v2 statement."""
+
+    def __init__(self, depth: int, message_limit: int) -> None:
+        self.depth = depth
+        self.message_limit = message_limit
+        shape = circuit_shape_v2(depth, message_limit)
+        self._params = run_default_ceremony(shape)
+
+    def prove(self, public: RLNv2PublicInputs, witness: RLNv2Witness) -> Proof:
+        self._check_statement(public, witness)
+        a = secrets.token_bytes(32)
+        b = secrets.token_bytes(64)
+        c = _pairing_tag(self._params, public.serialize(), a, b)
+        return Proof(a=a, b=b, c=c)
+
+    def verify(self, public: RLNv2PublicInputs, proof: Proof) -> bool:
+        expected = _pairing_tag(self._params, public.serialize(), proof.a, proof.b)
+        return hmac.compare_digest(expected, proof.c)
+
+    def _check_statement(self, public: RLNv2PublicInputs, witness: RLNv2Witness) -> None:
+        if public.message_limit != self.message_limit:
+            raise ProvingError("public message_limit disagrees with prover parameter")
+        if witness.merkle_proof.depth != self.depth:
+            raise ProvingError("witness path depth mismatch")
+        if not 0 <= witness.message_id < self.message_limit:
+            raise ProvingError(
+                f"message_id {witness.message_id} outside [0, {self.message_limit})"
+            )
+        sk = witness.identity.sk
+        if derive_commitment(sk) != witness.merkle_proof.leaf:
+            raise ProvingError("membership: leaf is not the commitment of sk")
+        if witness.merkle_proof.compute_root() != public.root:
+            raise ProvingError("membership: path does not reach root")
+        slope = derive_slope_v2(sk, public.external_nullifier, witness.message_id)
+        if sk + slope * public.x != public.y:
+            raise ProvingError("share validity: y mismatch")
+        if derive_nullifier_v2(slope) != public.internal_nullifier:
+            raise ProvingError("nullifier correctness: phi mismatch")

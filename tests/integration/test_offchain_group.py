@@ -1,0 +1,111 @@
+"""Integration: RLN proofs against the DHT-managed group (§IV-A future work).
+
+The whole point of the distributed registry is that it can stand in for
+the contract as the source of the identity-commitment tree.  Here a member
+registers via the DHT, builds its witness from the replicated tree, and a
+different replica verifies the resulting rate-limit proof against *its own*
+converged root.
+"""
+
+import random
+
+import pytest
+
+from repro.core.epoch import external_nullifier
+from repro.core.messages import RateLimitProof
+from repro.crypto.identity import Identity
+from repro.net.latency import ConstantLatency
+from repro.net.simulator import Simulator
+from repro.net.topology import random_regular
+from repro.net.transport import Network
+from repro.offchain.group_registry import DistributedGroupManager
+from repro.offchain.kademlia import KademliaNode
+from repro.zksnark.prover import NativeProver
+from repro.zksnark.rln_circuit import RLNPublicInputs, RLNWitness
+
+DEPTH = 8
+
+
+@pytest.fixture()
+def world():
+    sim = Simulator()
+    graph = random_regular(8, 4, seed=9)
+    network = Network(
+        simulator=sim, graph=graph, latency=ConstantLatency(0.02), rng=random.Random(9)
+    )
+    names = sorted(graph.nodes)
+    managers = {}
+    for i, name in enumerate(names):
+        dht = KademliaNode(name, network, sim, rng=random.Random(9 + i))
+        managers[name] = DistributedGroupManager(name, dht, tree_depth=DEPTH)
+    for i, name in enumerate(names):
+        managers[name].dht.bootstrap([names[0], names[(i + 2) % len(names)]])
+    sim.run(2.0)
+    return sim, managers
+
+
+class TestProofsOverDHTGroup:
+    def test_proof_verifies_at_remote_replica(self, world):
+        sim, managers = world
+        prover = NativeProver(DEPTH)
+        me = Identity.from_secret(0xD47)
+        publisher = managers["peer-000"]
+        publisher.register(me.pk)
+        sim.run(sim.now + 3)
+        # Another member registers through a different replica.
+        managers["peer-003"].register(Identity.from_secret(777).pk)
+        sim.run(sim.now + 3)
+        for manager in managers.values():
+            manager.refresh()
+        sim.run(sim.now + 5)
+
+        # Publisher builds its witness from the replicated tree.
+        payload = b"dht-backed message"
+        ext = external_nullifier(54_827_003)
+        public = RLNPublicInputs.for_message(me, payload, ext, publisher.root)
+        witness = RLNWitness(identity=me, merkle_proof=publisher.merkle_proof(me.pk))
+        proof = prover.prove(public, witness)
+        bundle = RateLimitProof(
+            share_x=public.x,
+            share_y=public.y,
+            internal_nullifier=public.internal_nullifier,
+            epoch=54_827_003,
+            root=publisher.root,
+            proof=proof,
+        )
+
+        # A different replica validates against its own converged root.
+        verifier = managers["peer-006"]
+        assert verifier.root == publisher.root
+        assert bundle.matches_payload(payload)
+        assert prover.verify(bundle.public_inputs(), bundle.proof)
+
+    def test_slashing_evidence_removes_member_from_dht_group(self, world):
+        from repro.core.nullifier_log import NullifierLog, NullifierOutcome
+        from repro.core.slashing import recover_spammer_key
+        from repro.crypto.field import FieldElement
+
+        sim, managers = world
+        spammer = Identity.from_secret(0x5BAD)
+        managers["peer-001"].register(spammer.pk)
+        sim.run(sim.now + 3)
+        for manager in managers.values():
+            manager.refresh()
+        sim.run(sim.now + 5)
+
+        # Double-signal in one epoch -> evidence -> sk -> DHT tombstone.
+        ext = FieldElement(42)
+        phi = spammer.epoch_secrets(ext).internal_nullifier
+        log = NullifierLog()
+        log.observe(42, phi, spammer.share_for(ext, FieldElement(1)), b"a")
+        outcome, evidence = log.observe(
+            42, phi, spammer.share_for(ext, FieldElement(2)), b"b"
+        )
+        assert outcome is NullifierOutcome.SPAM
+        recovered = recover_spammer_key(evidence)
+        managers["peer-004"].remove(recovered)
+        sim.run(sim.now + 3)
+        for manager in managers.values():
+            manager.refresh()
+        sim.run(sim.now + 5)
+        assert all(not m.is_member(spammer.pk) for m in managers.values())

@@ -1,0 +1,125 @@
+"""Stateful property test: value conservation on the chain.
+
+Drives the membership contract with random interleavings of funding,
+registrations, batch registrations, withdrawals, slashes (including bogus
+ones), and mining, and checks after every step that no wei is created or
+destroyed and the contract's balance always covers the outstanding stakes.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.chain.blockchain import Blockchain, WEI
+from repro.chain.rln_contract import RLNMembershipContract
+from repro.crypto.commitments import commit
+from repro.crypto.identity import Identity
+
+ACCOUNTS = [f"acct-{i}" for i in range(4)]
+
+
+class ChainMachine(RuleBasedStateMachine):
+    identities = Bundle("identities")
+
+    @initialize()
+    def setup(self):
+        self.chain = Blockchain(block_interval=12.0)
+        self.contract = RLNMembershipContract(deposit=1 * WEI)
+        self.chain.deploy(self.contract)
+        for account in ACCOUNTS:
+            self.chain.fund(account, 100 * WEI)
+        self.expected_supply = self.chain.total_supply()
+        self.counter = 0
+
+    # -- actions ------------------------------------------------------------
+
+    @rule(target=identities, account=st.sampled_from(ACCOUNTS))
+    def register(self, account):
+        self.counter += 1
+        identity = Identity.from_secret(10_000 + self.counter)
+        self.chain.send_transaction(
+            account,
+            self.contract.address,
+            "register",
+            {"pk": identity.pk.value},
+            value=self.contract.deposit,
+        )
+        return (identity, account)
+
+    @rule(account=st.sampled_from(ACCOUNTS), size=st.integers(min_value=1, max_value=5))
+    def register_batch(self, account, size):
+        pks = []
+        for _ in range(size):
+            self.counter += 1
+            pks.append(Identity.from_secret(10_000 + self.counter).pk.value)
+        self.chain.send_transaction(
+            account,
+            self.contract.address,
+            "register_batch",
+            {"pks": pks},
+            value=size * self.contract.deposit,
+        )
+
+    @rule(entry=identities)
+    def withdraw(self, entry):
+        identity, account = entry
+        self.chain.send_transaction(
+            account, self.contract.address, "withdraw", {"pk": identity.pk.value}
+        )
+
+    @rule(entry=identities, slasher=st.sampled_from(ACCOUNTS))
+    def slash(self, entry, slasher):
+        identity, _owner = entry
+        commitment, opening = commit(identity.sk.to_bytes(), slasher.encode("utf-8"))
+        self.chain.send_transaction(
+            slasher, self.contract.address, "slash_commit", {"digest": commitment.digest}
+        )
+        self.chain.mine_block()
+        self.chain.send_transaction(
+            slasher,
+            self.contract.address,
+            "slash_reveal",
+            {"sk": identity.sk.value, "nonce": opening.nonce},
+        )
+
+    @rule(slasher=st.sampled_from(ACCOUNTS))
+    def bogus_slash_reveal(self, slasher):
+        self.chain.send_transaction(
+            slasher,
+            self.contract.address,
+            "slash_reveal",
+            {"sk": 424242, "nonce": b"n" * 32},
+        )
+
+    @rule()
+    def mine(self):
+        self.chain.mine_block()
+
+    # -- invariants --------------------------------------------------------------
+
+    @invariant()
+    def supply_conserved(self):
+        assert self.chain.total_supply() == self.expected_supply
+
+    @invariant()
+    def contract_balance_covers_stakes(self):
+        stakes = sum(slot.stake for slot in self.contract.slots if slot.pk != 0)
+        pending = sum(w.stake for w in self.contract._pending_withdrawals)
+        assert self.contract.balance >= stakes + pending
+
+    @invariant()
+    def index_map_consistent(self):
+        for pk, index in self.contract._index_of_pk.items():
+            assert self.contract.slots[index].pk == pk
+
+
+ChainMachine.TestCase.settings = settings(
+    max_examples=20, stateful_step_count=20, deadline=None
+)
+TestChainMachine = ChainMachine.TestCase

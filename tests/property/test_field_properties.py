@@ -1,0 +1,70 @@
+"""Property-based tests: the BN254 scalar field is a field."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.field import FIELD_MODULUS, FieldElement, ONE, ZERO
+
+elements = st.integers(min_value=0, max_value=FIELD_MODULUS - 1).map(FieldElement)
+nonzero = st.integers(min_value=1, max_value=FIELD_MODULUS - 1).map(FieldElement)
+
+
+@given(elements, elements, elements)
+def test_addition_associative(a, b, c):
+    assert (a + b) + c == a + (b + c)
+
+
+@given(elements, elements)
+def test_addition_commutative(a, b):
+    assert a + b == b + a
+
+
+@given(elements)
+def test_additive_identity_and_inverse(a):
+    assert a + ZERO == a
+    assert a + (-a) == ZERO
+
+
+@given(elements, elements, elements)
+def test_multiplication_associative(a, b, c):
+    assert (a * b) * c == a * (b * c)
+
+
+@given(elements, elements)
+def test_multiplication_commutative(a, b):
+    assert a * b == b * a
+
+
+@given(elements)
+def test_multiplicative_identity(a):
+    assert a * ONE == a
+
+
+@given(nonzero)
+def test_multiplicative_inverse(a):
+    assert a * a.inverse() == ONE
+
+
+@given(elements, elements, elements)
+def test_distributivity(a, b, c):
+    assert a * (b + c) == a * b + a * c
+
+
+@given(elements)
+def test_serialization_roundtrip(a):
+    assert FieldElement.from_bytes(a.to_bytes()) == a
+
+
+@given(st.integers())
+def test_construction_always_reduces(value):
+    assert 0 <= FieldElement(value).value < FIELD_MODULUS
+
+
+@given(nonzero, nonzero)
+def test_division_inverts_multiplication(a, b):
+    assert (a * b) / b == a
+
+
+@given(elements, st.integers(min_value=0, max_value=50), st.integers(min_value=0, max_value=50))
+def test_power_laws(a, m, n):
+    assert a ** m * a ** n == a ** (m + n)

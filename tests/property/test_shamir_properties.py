@@ -1,0 +1,68 @@
+"""Property-based tests for Shamir sharing and RLN share recovery."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.field import FIELD_MODULUS, FieldElement
+from repro.crypto.identity import Identity, derive_commitment
+from repro.crypto.shamir import (
+    recover_secret,
+    recover_slope,
+    reconstruct_secret,
+    rln_share,
+    split_secret,
+)
+
+field_values = st.integers(min_value=0, max_value=FIELD_MODULUS - 1).map(FieldElement)
+nonzero_values = st.integers(min_value=1, max_value=FIELD_MODULUS - 1).map(FieldElement)
+
+
+@given(field_values, field_values, field_values, field_values)
+def test_two_distinct_shares_always_recover(sk, a1, x1, x2):
+    if x1 == x2:
+        return
+    s1 = rln_share(sk, a1, x1)
+    s2 = rln_share(sk, a1, x2)
+    assert recover_secret(s1, s2) == sk
+    assert recover_slope(s1, s2) == a1
+
+
+@given(nonzero_values, field_values, field_values)
+def test_identity_double_signal_recovers_commitment(sk_value, x1, x2):
+    if x1 == x2:
+        return
+    identity = Identity.from_secret(sk_value)
+    ext = FieldElement(777)
+    s1 = identity.share_for(ext, x1)
+    s2 = identity.share_for(ext, x2)
+    recovered = recover_secret(s1, s2)
+    assert derive_commitment(recovered) == identity.pk
+
+
+@given(
+    field_values,
+    st.integers(min_value=2, max_value=5),
+    st.integers(min_value=0, max_value=3),
+    st.randoms(use_true_random=False),
+)
+@settings(max_examples=25, deadline=None)
+def test_threshold_reconstruction(secret, threshold, extra, rnd):
+    share_count = threshold + extra
+    shares = split_secret(secret, threshold=threshold, share_count=share_count)
+    chosen = rnd.sample(shares, threshold)
+    assert reconstruct_secret(chosen) == secret
+
+
+@given(field_values, field_values, field_values, field_values, field_values)
+def test_wrong_slope_does_not_recover(sk, a1, a2, x1, x2):
+    # Shares from different epochs (different slopes) interpolate elsewhere.
+    if x1 == x2 or a1 == a2:
+        return
+    s1 = rln_share(sk, a1, x1)
+    s2 = rln_share(sk, a2, x2)
+    # The interpolation result equals sk only on a measure-zero coincidence;
+    # assert the algebraic identity instead of sampling luck:
+    # A(0) = (y1*x2 - y2*x1)/(x2-x1) = sk + x1*x2*(a1-a2)/(x2-x1)
+    recovered = recover_secret(s1, s2)
+    offset = x1 * x2 * (a1 - a2) / (x2 - x1)
+    assert recovered == sk + offset

@@ -1,0 +1,93 @@
+"""Property tests: WAKU2-STORE pagination completeness and consistency."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.latency import ConstantLatency
+from repro.net.simulator import Simulator
+from repro.net.topology import full_mesh
+from repro.net.transport import Network
+from repro.waku.message import WakuMessage
+from repro.waku.relay import WakuRelay
+from repro.waku.store import HistoryQuery, StoreNode
+
+
+def build_store(message_specs, capacity=1000, seed=0):
+    sim = Simulator()
+    graph = full_mesh(3)
+    network = Network(
+        simulator=sim, graph=graph, latency=ConstantLatency(0.01), rng=random.Random(seed)
+    )
+    relays = {
+        p: WakuRelay(p, network, sim, rng=random.Random(seed + i))
+        for i, p in enumerate(sorted(graph.nodes))
+    }
+    for relay in relays.values():
+        relay.start()
+    sim.run(2.0)
+    store = StoreNode(relays["peer-000"], network, capacity=capacity)
+    for i, (topic, timestamp) in enumerate(message_specs):
+        relays["peer-001"].publish(
+            WakuMessage(payload=b"m%d" % i, content_topic=topic, timestamp=timestamp)
+        )
+        sim.run(sim.now + 0.5)
+    sim.run(sim.now + 2.0)
+    return store
+
+
+message_specs = st.lists(
+    st.tuples(st.sampled_from(["a", "b", "c"]), st.floats(min_value=0, max_value=100)),
+    min_size=0,
+    max_size=15,
+)
+
+
+@given(specs=message_specs, page_size=st.integers(min_value=1, max_value=7))
+@settings(max_examples=15, deadline=None)
+def test_pagination_returns_every_archived_message_exactly_once(specs, page_size):
+    store = build_store(specs)
+    collected = []
+    cursor = 0
+    request = 0
+    while True:
+        request += 1
+        response = store.query_local(
+            HistoryQuery(request_id=request, cursor=cursor, page_size=page_size)
+        )
+        collected.extend(response.messages)
+        if response.cursor is None:
+            break
+        cursor = response.cursor
+    assert len(collected) == store.archived_count() == len(specs)
+    assert sorted(m.payload for m in collected) == sorted(b"m%d" % i for i in range(len(specs)))
+
+
+@given(specs=message_specs)
+@settings(max_examples=15, deadline=None)
+def test_topic_filters_partition_the_archive(specs):
+    store = build_store(specs)
+    total = 0
+    for topic in ("a", "b", "c"):
+        response = store.query_local(
+            HistoryQuery(request_id=1, content_topics=(topic,), page_size=100)
+        )
+        assert all(m.content_topic == topic for m in response.messages)
+        total += len(response.messages)
+    assert total == store.archived_count()
+
+
+@given(
+    specs=message_specs,
+    start=st.floats(min_value=0, max_value=100),
+    end=st.floats(min_value=0, max_value=100),
+)
+@settings(max_examples=15, deadline=None)
+def test_time_range_filter_matches_predicate(specs, start, end):
+    store = build_store(specs)
+    response = store.query_local(
+        HistoryQuery(request_id=1, start_time=start, end_time=end, page_size=100)
+    )
+    expected = sum(1 for _topic, ts in specs if start <= ts <= end)
+    assert len(response.messages) == expected

@@ -1,0 +1,57 @@
+"""Property tests for the wire format: roundtrip fidelity and fuzz safety."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.core.wire import decode_message, encode_message
+from repro.errors import ProtocolError, ReproError
+from repro.waku.message import WakuMessage
+
+
+@given(
+    payload=st.binary(max_size=2048),
+    topic=st.text(min_size=1, max_size=64),
+    timestamp=st.floats(min_value=0, max_value=2**40, allow_nan=False),
+    ephemeral=st.booleans(),
+)
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_preserves_every_field(payload, topic, timestamp, ephemeral):
+    message = WakuMessage(
+        payload=payload, content_topic=topic, timestamp=timestamp, ephemeral=ephemeral
+    )
+    decoded = decode_message(encode_message(message))
+    assert decoded.payload == payload
+    assert decoded.content_topic == topic
+    assert decoded.ephemeral == ephemeral
+    assert abs(decoded.timestamp - timestamp) <= 0.001  # millisecond precision
+
+
+@given(data=st.binary(max_size=512))
+@settings(max_examples=100, deadline=None)
+def test_decoding_random_bytes_never_crashes(data):
+    """Fuzz: arbitrary input either parses or raises the library error —
+    never an uncontrolled exception."""
+    try:
+        decode_message(data)
+    except ReproError:
+        pass  # the contract: malformed input -> ProtocolError family
+
+
+@given(
+    payload=st.binary(max_size=256),
+    topic=st.text(min_size=1, max_size=16),
+    cut=st.integers(min_value=0, max_value=30),
+)
+@settings(max_examples=50, deadline=None)
+def test_truncation_always_detected(payload, topic, cut):
+    encoded = encode_message(WakuMessage(payload=payload, content_topic=topic))
+    if cut == 0:
+        decode_message(encoded)  # uncut parses
+        return
+    truncated = encoded[:-cut] if cut <= len(encoded) else b""
+    if truncated == encoded:
+        return
+    with pytest.raises(ProtocolError):
+        decode_message(truncated)

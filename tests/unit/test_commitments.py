@@ -1,0 +1,49 @@
+"""Unit tests for commit-and-reveal commitments."""
+
+import pytest
+
+from repro.crypto.commitments import Commitment, commit, open_or_raise, verify_opening
+from repro.errors import CommitmentError
+
+
+class TestCommitReveal:
+    def test_roundtrip(self):
+        commitment, opening = commit(b"secret-key-bytes", b"slasher-addr")
+        assert verify_opening(commitment, opening)
+        assert open_or_raise(commitment, opening) == b"secret-key-bytes"
+
+    def test_binding_to_payload(self):
+        commitment, opening = commit(b"payload", b"binder")
+        forged = type(opening)(payload=b"other", binder=opening.binder, nonce=opening.nonce)
+        assert not verify_opening(commitment, forged)
+
+    def test_binding_to_binder(self):
+        # The anti-front-running property of §III-F: an opening bound to a
+        # different address does not open the commitment.
+        commitment, opening = commit(b"sk", b"honest-slasher")
+        stolen = type(opening)(payload=opening.payload, binder=b"thief", nonce=opening.nonce)
+        assert not verify_opening(commitment, stolen)
+
+    def test_binding_to_nonce(self):
+        commitment, opening = commit(b"sk", b"addr")
+        altered = type(opening)(payload=opening.payload, binder=opening.binder, nonce=b"x" * 32)
+        assert not verify_opening(commitment, altered)
+
+    def test_hiding_commitments_differ(self):
+        c1, _ = commit(b"same", b"same")
+        c2, _ = commit(b"same", b"same")
+        assert c1.digest != c2.digest  # fresh nonces
+
+    def test_deterministic_with_fixed_nonce(self):
+        c1, _ = commit(b"p", b"b", nonce=b"n" * 16)
+        c2, _ = commit(b"p", b"b", nonce=b"n" * 16)
+        assert c1.digest == c2.digest
+
+    def test_short_nonce_rejected(self):
+        with pytest.raises(CommitmentError):
+            commit(b"p", b"b", nonce=b"short")
+
+    def test_open_or_raise_rejects(self):
+        commitment, opening = commit(b"p", b"b")
+        with pytest.raises(CommitmentError):
+            open_or_raise(Commitment(digest=b"\x00" * 32), opening)

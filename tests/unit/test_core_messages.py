@@ -1,0 +1,82 @@
+"""Unit tests for the rate-limit proof bundle (§III-E)."""
+
+import pytest
+
+from repro.core.messages import RateLimitProof
+from repro.crypto.field import FieldElement
+from repro.crypto.hashing import hash_message_to_field
+from repro.crypto.identity import Identity
+from repro.crypto.merkle import MerkleTree
+from repro.zksnark.groth16 import Proof
+from repro.zksnark.prover import NativeProver
+from repro.zksnark.rln_circuit import RLNPublicInputs, RLNWitness
+
+DEPTH = 6
+
+
+@pytest.fixture(scope="module")
+def bundle_env():
+    prover = NativeProver(DEPTH)
+    identity = Identity.from_secret(5150)
+    tree = MerkleTree(depth=DEPTH)
+    index = tree.insert(identity.pk)
+    payload = b"the payload"
+    epoch = 54_827_003
+    public = RLNPublicInputs.for_message(
+        identity, payload, FieldElement(epoch), tree.root
+    )
+    witness = RLNWitness(identity=identity, merkle_proof=tree.proof(index))
+    proof = prover.prove(public, witness)
+    bundle = RateLimitProof(
+        share_x=public.x,
+        share_y=public.y,
+        internal_nullifier=public.internal_nullifier,
+        epoch=epoch,
+        root=tree.root,
+        proof=proof,
+    )
+    return prover, payload, public, bundle
+
+
+class TestBundle:
+    def test_public_inputs_roundtrip(self, bundle_env):
+        _, _, public, bundle = bundle_env
+        assert bundle.public_inputs() == public
+
+    def test_bundle_verifies(self, bundle_env):
+        prover, _, _, bundle = bundle_env
+        assert prover.verify(bundle.public_inputs(), bundle.proof)
+
+    def test_matches_payload(self, bundle_env):
+        _, payload, _, bundle = bundle_env
+        assert bundle.matches_payload(payload)
+        assert not bundle.matches_payload(payload + b"!")
+
+    def test_share_property(self, bundle_env):
+        _, _, public, bundle = bundle_env
+        assert bundle.share.x == public.x and bundle.share.y == public.y
+
+    def test_byte_size_fixed(self, bundle_env):
+        # §III-E metadata: 4 field elements + epoch + 128-byte proof.
+        _, _, _, bundle = bundle_env
+        assert bundle.byte_size() == 4 * 32 + 8 + 128
+
+    def test_x_is_message_hash(self, bundle_env):
+        _, payload, _, bundle = bundle_env
+        assert bundle.share_x == hash_message_to_field(payload)
+
+    def test_replay_on_other_payload_detected(self, bundle_env):
+        # An adversary re-attaching a valid bundle to different content is
+        # caught by the payload binding even before proof verification.
+        prover, payload, _, bundle = bundle_env
+        assert not bundle.matches_payload(b"replacement content")
+        # And if they also fix x, the proof no longer verifies.
+        forged = RateLimitProof(
+            share_x=hash_message_to_field(b"replacement content"),
+            share_y=bundle.share_y,
+            internal_nullifier=bundle.internal_nullifier,
+            epoch=bundle.epoch,
+            root=bundle.root,
+            proof=bundle.proof,
+        )
+        assert not prover.verify(forged.public_inputs(), forged.proof)

@@ -1,0 +1,72 @@
+"""Meta-tests: documentation completeness of the public API.
+
+Deliverable (e) requires doc comments on every public item; these tests
+enforce it mechanically so the guarantee survives future edits.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.crypto",
+    "repro.zksnark",
+    "repro.chain",
+    "repro.net",
+    "repro.gossipsub",
+    "repro.waku",
+    "repro.core",
+    "repro.baselines",
+    "repro.offchain",
+    "repro.analysis",
+]
+
+
+def iter_modules():
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        yield package
+        for info in pkgutil.iter_modules(package.__path__, package_name + "."):
+            yield importlib.import_module(info.name)
+
+
+ALL_MODULES = list(iter_modules())
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+def test_every_module_has_a_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), f"{module.__name__} lacks a docstring"
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+def test_every_public_class_and_function_documented(module):
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-exported from elsewhere; documented at its home
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            undocumented.append(name)
+    assert not undocumented, f"{module.__name__}: undocumented public items {undocumented}"
+
+
+def test_packages_export_declared_api():
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        exported = getattr(package, "__all__", None)
+        if exported is None:
+            continue
+        for name in exported:
+            assert hasattr(package, name), f"{package_name}.__all__ lists missing {name}"
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2

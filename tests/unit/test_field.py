@@ -1,0 +1,144 @@
+"""Unit tests for BN254 scalar-field arithmetic."""
+
+import pytest
+
+from repro.crypto.field import (
+    FIELD_BYTES,
+    FIELD_MODULUS,
+    FieldElement,
+    ONE,
+    ZERO,
+    batch_inverse,
+    element_from_hash,
+)
+from repro.errors import FieldError
+
+
+class TestConstruction:
+    def test_reduces_modulo_p(self):
+        assert FieldElement(FIELD_MODULUS).value == 0
+        assert FieldElement(FIELD_MODULUS + 5).value == 5
+
+    def test_negative_wraps(self):
+        assert FieldElement(-1).value == FIELD_MODULUS - 1
+
+    def test_from_field_element(self):
+        a = FieldElement(7)
+        assert FieldElement(a) == a
+
+    def test_rejects_non_integers(self):
+        with pytest.raises(TypeError):
+            FieldElement(1.5)  # type: ignore[arg-type]
+
+    def test_immutable(self):
+        a = FieldElement(1)
+        with pytest.raises(AttributeError):
+            a.value = 2  # type: ignore[misc]
+
+
+class TestArithmetic:
+    def test_addition_wraps(self):
+        a = FieldElement(FIELD_MODULUS - 1)
+        assert (a + 1) == ZERO
+
+    def test_subtraction_wraps(self):
+        assert (ZERO - 1).value == FIELD_MODULUS - 1
+
+    def test_mixed_int_operands(self):
+        assert 2 + FieldElement(3) == FieldElement(5)
+        assert 10 - FieldElement(3) == FieldElement(7)
+        assert 3 * FieldElement(4) == FieldElement(12)
+        assert 10 / FieldElement(2) == FieldElement(5)
+
+    def test_negation(self):
+        assert (-FieldElement(5)) + 5 == ZERO
+
+    def test_pow(self):
+        assert FieldElement(3) ** 4 == FieldElement(81)
+        assert FieldElement(3) ** 0 == ONE
+
+    def test_negative_pow_is_inverse_pow(self):
+        a = FieldElement(7)
+        assert a ** -2 == (a.inverse()) ** 2
+
+    def test_inverse_roundtrip(self):
+        a = FieldElement(123456789)
+        assert a * a.inverse() == ONE
+
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(FieldError):
+            ZERO.inverse()
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(FieldError):
+            FieldElement(1) / 0
+
+    def test_fermat_little_theorem(self):
+        a = FieldElement(987654321)
+        assert a ** (FIELD_MODULUS - 1) == ONE
+
+
+class TestComparisonAndHash:
+    def test_equality_with_int(self):
+        assert FieldElement(5) == 5
+        assert FieldElement(5) == 5 + FIELD_MODULUS
+
+    def test_inequality_with_other_types(self):
+        assert FieldElement(5) != "5"
+
+    def test_hashable_and_consistent(self):
+        assert len({FieldElement(1), FieldElement(1), FieldElement(2)}) == 2
+
+    def test_bool(self):
+        assert not ZERO
+        assert ONE
+
+    def test_int_conversion(self):
+        assert int(FieldElement(42)) == 42
+
+    def test_index_protocol(self):
+        assert hex(FieldElement(255)) == "0xff"
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        a = FieldElement(2**200 + 17)
+        assert FieldElement.from_bytes(a.to_bytes()) == a
+
+    def test_fixed_width(self):
+        assert len(FieldElement(1).to_bytes()) == FIELD_BYTES
+
+    def test_too_long_rejected(self):
+        with pytest.raises(FieldError):
+            FieldElement.from_bytes(b"\x01" * (FIELD_BYTES + 1))
+
+    def test_short_input_accepted(self):
+        assert FieldElement.from_bytes(b"\x05") == FieldElement(5)
+
+    def test_element_from_hash_reduces(self):
+        digest = b"\xff" * 32
+        value = element_from_hash(digest)
+        assert 0 <= value.value < FIELD_MODULUS
+
+
+class TestRandomAndBatch:
+    def test_random_in_range(self):
+        for _ in range(16):
+            assert 0 <= FieldElement.random().value < FIELD_MODULUS
+
+    def test_random_not_constant(self):
+        values = {FieldElement.random().value for _ in range(8)}
+        assert len(values) > 1
+
+    def test_batch_inverse_matches_single(self):
+        elements = [FieldElement(i) for i in range(1, 50)]
+        inverses = batch_inverse(elements)
+        for element, inverse in zip(elements, inverses):
+            assert element * inverse == ONE
+
+    def test_batch_inverse_empty(self):
+        assert batch_inverse([]) == []
+
+    def test_batch_inverse_rejects_zero(self):
+        with pytest.raises(FieldError):
+            batch_inverse([ONE, ZERO])

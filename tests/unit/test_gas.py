@@ -1,0 +1,75 @@
+"""Unit tests for the gas schedule and metering."""
+
+import pytest
+
+from repro.chain.gas import (
+    CALLDATA_NONZERO_GAS,
+    CALLDATA_ZERO_GAS,
+    GasMeter,
+    SSTORE_CLEAR_REFUND,
+    SSTORE_SET_GAS,
+    TX_BASE_GAS,
+    calldata_gas,
+    intrinsic_gas,
+)
+from repro.errors import OutOfGas
+
+
+class TestGasMeter:
+    def test_accumulates(self):
+        meter = GasMeter(limit=100_000)
+        meter.charge(1000)
+        meter.charge(2000)
+        assert meter.used == 3000
+
+    def test_limit_enforced(self):
+        meter = GasMeter(limit=1000)
+        with pytest.raises(OutOfGas):
+            meter.charge(1001)
+
+    def test_negative_rejected(self):
+        meter = GasMeter(limit=1000)
+        with pytest.raises(ValueError):
+            meter.charge(-1)
+
+    def test_sstore_set(self):
+        meter = GasMeter(limit=100_000)
+        meter.charge_sstore_set()
+        assert meter.used == SSTORE_SET_GAS
+
+    def test_clear_credits_refund(self):
+        meter = GasMeter(limit=100_000)
+        meter.charge(50_000)
+        meter.charge_sstore_clear()
+        assert meter.refund == SSTORE_CLEAR_REFUND
+
+    def test_refund_capped_at_fifth(self):
+        meter = GasMeter(limit=1_000_000)
+        meter.charge(10_000)
+        meter.credit_refund(1_000_000)
+        assert meter.effective_used() == 10_000 - 10_000 // 5
+
+    def test_effective_below_used(self):
+        meter = GasMeter(limit=100_000)
+        meter.charge(30_000)
+        meter.credit_refund(100)
+        assert meter.effective_used() == 29_900
+
+
+class TestCalldata:
+    def test_zero_vs_nonzero_pricing(self):
+        assert calldata_gas(b"\x00\x00") == 2 * CALLDATA_ZERO_GAS
+        assert calldata_gas(b"\x01\x02") == 2 * CALLDATA_NONZERO_GAS
+
+    def test_intrinsic_includes_base(self):
+        assert intrinsic_gas(b"") == TX_BASE_GAS
+
+    def test_intrinsic_value_transfer_stipend(self):
+        assert intrinsic_gas(b"", transfers_value=True) > intrinsic_gas(b"")
+
+    def test_registration_cost_is_about_40k(self):
+        # §IV-A: "the cost associated with membership is 40k gas".  Our
+        # schedule: 21k base + 32-byte commitment calldata + one SSTORE +
+        # one SLOAD + log => the same ballpark.
+        total = intrinsic_gas(b"\x11" * 32, transfers_value=True) + SSTORE_SET_GAS
+        assert 40_000 <= total <= 55_000

@@ -1,0 +1,174 @@
+"""Unit tests for DHT-based distributed group management (§IV-A)."""
+
+import random
+
+import pytest
+
+from repro.crypto.field import FieldElement
+from repro.crypto.identity import Identity
+from repro.errors import ProtocolError
+from repro.net.latency import ConstantLatency
+from repro.net.simulator import Simulator
+from repro.net.topology import random_regular
+from repro.net.transport import Network
+from repro.offchain.group_registry import (
+    DistributedGroupManager,
+    GroupSnapshot,
+    MembershipRecord,
+)
+from repro.offchain.kademlia import KademliaNode
+
+DEPTH = 8
+
+
+def build(count=10, seed=2):
+    sim = Simulator()
+    graph = random_regular(count, 4, seed=seed)
+    network = Network(
+        simulator=sim, graph=graph, latency=ConstantLatency(0.02), rng=random.Random(seed)
+    )
+    names = sorted(graph.nodes)
+    managers = {}
+    for i, name in enumerate(names):
+        dht = KademliaNode(name, network, sim, rng=random.Random(seed + i))
+        managers[name] = DistributedGroupManager(name, dht, tree_depth=DEPTH)
+    for i, name in enumerate(names):
+        managers[name].dht.bootstrap([names[0], names[(i + 3) % count]])
+    sim.run(2.0)
+    return sim, managers
+
+
+class TestSnapshotCRDT:
+    def record(self, pk, lamport, removal=None):
+        return MembershipRecord(pk=pk, owner="o", lamport=lamport, removal_sk=removal)
+
+    def test_merge_is_union(self):
+        a = GroupSnapshot(records=frozenset({self.record(1, 1)}))
+        b = GroupSnapshot(records=frozenset({self.record(2, 2)}))
+        merged = a.merge(b)
+        assert merged.version == 2
+        assert merged.merge(a) == merged  # idempotent
+
+    def test_merge_commutative(self):
+        a = GroupSnapshot(records=frozenset({self.record(1, 1)}))
+        b = GroupSnapshot(records=frozenset({self.record(2, 2)}))
+        assert a.merge(b) == b.merge(a)
+
+    def test_ordering_deterministic(self):
+        records = [self.record(5, 2), self.record(3, 1), self.record(9, 2)]
+        snapshot = GroupSnapshot(records=frozenset(records))
+        ordered = snapshot.ordered_registrations()
+        assert [(r.lamport, r.pk) for r in ordered] == [(1, 3), (2, 5), (2, 9)]
+
+
+class TestRegistration:
+    def test_register_and_propagate(self):
+        sim, managers = build()
+        identity = Identity.from_secret(1)
+        done = {}
+        managers["peer-000"].register(identity.pk, on_done=lambda s: done.update(v=s.version))
+        sim.run(sim.now + 5)
+        assert done["v"] == 1
+        # Another peer refreshes and sees the member.
+        managers["peer-006"].refresh()
+        sim.run(sim.now + 5)
+        assert managers["peer-006"].is_member(identity.pk)
+
+    def test_registration_has_no_mining_delay(self):
+        sim, managers = build()
+        start = sim.now
+        done = {}
+        managers["peer-000"].register(
+            Identity.from_secret(2).pk, on_done=lambda s: done.update(at=sim.now)
+        )
+        sim.run(sim.now + 5)
+        # §IV-A's motivation: registration completes in RTTs, not blocks.
+        assert done["at"] - start < 1.0
+
+    def test_concurrent_registrations_both_survive(self):
+        sim, managers = build()
+        a, b = Identity.from_secret(3), Identity.from_secret(4)
+        managers["peer-001"].register(a.pk)
+        managers["peer-008"].register(b.pk)  # concurrent: same tick
+        sim.run(sim.now + 5)
+        for reader in ("peer-002", "peer-005"):
+            managers[reader].refresh()
+        sim.run(sim.now + 5)
+        for reader in ("peer-002", "peer-005"):
+            manager = managers[reader]
+            assert manager.is_member(a.pk), reader
+            assert manager.is_member(b.pk), reader
+
+    def test_zero_pk_rejected(self):
+        _, managers = build(count=6)
+        with pytest.raises(ProtocolError):
+            managers["peer-000"].register(FieldElement(0))
+
+
+class TestConvergence:
+    def test_replicas_build_identical_trees(self):
+        sim, managers = build()
+        identities = [Identity.from_secret(10 + i) for i in range(5)]
+        for i, identity in enumerate(identities):
+            managers[f"peer-00{i}"].register(identity.pk)
+            sim.run(sim.now + 2)
+        for manager in managers.values():
+            manager.refresh()
+        sim.run(sim.now + 5)
+        roots = {int(managers[p].root) for p in ("peer-000", "peer-004", "peer-009")}
+        assert len(roots) == 1
+
+    def test_merkle_proof_verifies_against_shared_root(self):
+        sim, managers = build()
+        me = Identity.from_secret(42)
+        managers["peer-000"].register(me.pk)
+        managers["peer-001"].register(Identity.from_secret(43).pk)
+        sim.run(sim.now + 3)
+        for manager in managers.values():
+            manager.refresh()
+        sim.run(sim.now + 5)
+        proof = managers["peer-000"].merkle_proof(me.pk)
+        assert proof.verify(managers["peer-007"].root)
+
+
+class TestRemoval:
+    def test_removal_requires_secret_key_knowledge(self):
+        sim, managers = build()
+        spammer = Identity.from_secret(0xBAD)
+        managers["peer-000"].register(spammer.pk)
+        sim.run(sim.now + 3)
+        # Slashing evidence = sk; the tombstone carries it and every replica
+        # can check pk = H(sk).
+        managers["peer-003"].remove(spammer.sk)
+        sim.run(sim.now + 3)
+        for manager in managers.values():
+            manager.refresh()
+        sim.run(sim.now + 5)
+        assert not managers["peer-008"].is_member(spammer.pk)
+
+    def test_removed_member_cannot_get_proof(self):
+        sim, managers = build()
+        spammer = Identity.from_secret(0xBAD)
+        manager = managers["peer-000"]
+        manager.register(spammer.pk)
+        sim.run(sim.now + 3)
+        manager.remove(spammer.sk)
+        sim.run(sim.now + 3)
+        with pytest.raises(ProtocolError):
+            manager.merkle_proof(spammer.pk)
+
+    def test_removal_preserves_other_indices(self):
+        sim, managers = build()
+        members = [Identity.from_secret(50 + i) for i in range(3)]
+        manager = managers["peer-000"]
+        for member in members:
+            manager.register(member.pk)
+            sim.run(sim.now + 2)
+        root_before_anything = manager.root
+        manager.remove(members[1].sk)
+        sim.run(sim.now + 3)
+        # Member 2's proof is at the same index (leaf 1 is zeroed in place).
+        proof = manager.merkle_proof(members[2].pk)
+        assert proof.index == 2
+        assert proof.verify(manager.root)
+        assert manager.root != root_before_anything

@@ -1,0 +1,47 @@
+"""Unit tests for byte-level hashing helpers."""
+
+from repro.crypto.field import FIELD_MODULUS
+from repro.crypto.hashing import (
+    DOMAIN_COMMITMENT,
+    DOMAIN_MESSAGE,
+    hash_message_to_field,
+    message_id,
+    tagged_sha256,
+)
+
+
+class TestTaggedSha256:
+    def test_deterministic(self):
+        assert tagged_sha256(b"d", b"a", b"b") == tagged_sha256(b"d", b"a", b"b")
+
+    def test_domain_separation(self):
+        assert tagged_sha256(DOMAIN_MESSAGE, b"x") != tagged_sha256(DOMAIN_COMMITMENT, b"x")
+
+    def test_injective_part_boundaries(self):
+        # Length prefixes: ("ab","c") must differ from ("a","bc").
+        assert tagged_sha256(b"d", b"ab", b"c") != tagged_sha256(b"d", b"a", b"bc")
+
+    def test_output_is_32_bytes(self):
+        assert len(tagged_sha256(b"d", b"x")) == 32
+
+
+class TestMessageHash:
+    def test_in_field(self):
+        assert 0 <= hash_message_to_field(b"hello").value < FIELD_MODULUS
+
+    def test_payload_sensitivity(self):
+        assert hash_message_to_field(b"a") != hash_message_to_field(b"b")
+
+    def test_empty_payload_ok(self):
+        assert hash_message_to_field(b"").value != 0
+
+
+class TestMessageId:
+    def test_topic_sensitivity(self):
+        assert message_id(b"m", "topic-a") != message_id(b"m", "topic-b")
+
+    def test_payload_sensitivity(self):
+        assert message_id(b"m1", "t") != message_id(b"m2", "t")
+
+    def test_stable(self):
+        assert message_id(b"m", "t") == message_id(b"m", "t")

@@ -1,0 +1,79 @@
+"""Unit tests for the GossipSub message and seen caches."""
+
+import pytest
+
+from repro.gossipsub.mcache import MessageCache, SeenCache
+from repro.gossipsub.messages import PubSubMessage
+
+
+def msg(i: int, topic: str = "t") -> PubSubMessage:
+    return PubSubMessage(msg_id=bytes([i]) * 32, topic=topic, payload=b"p")
+
+
+class TestSeenCache:
+    def test_first_sighting_is_fresh(self):
+        cache = SeenCache(ttl=10)
+        assert cache.witness(b"a" * 32, now=0.0) is False
+
+    def test_second_sighting_is_duplicate(self):
+        cache = SeenCache(ttl=10)
+        cache.witness(b"a" * 32, now=0.0)
+        assert cache.witness(b"a" * 32, now=1.0) is True
+
+    def test_expiry_forgets(self):
+        cache = SeenCache(ttl=10)
+        cache.witness(b"a" * 32, now=0.0)
+        assert cache.witness(b"a" * 32, now=20.0) is False
+
+    def test_contains(self):
+        cache = SeenCache(ttl=10)
+        cache.witness(b"a" * 32, now=0.0)
+        assert b"a" * 32 in cache
+        assert b"b" * 32 not in cache
+
+    def test_len_after_expiry(self):
+        cache = SeenCache(ttl=5)
+        cache.witness(b"a" * 32, now=0.0)
+        cache.witness(b"b" * 32, now=7.0)
+        assert len(cache) == 1
+
+
+class TestMessageCache:
+    def test_put_get(self):
+        cache = MessageCache()
+        message = msg(1)
+        cache.put(message)
+        assert cache.get(message.msg_id) is message
+
+    def test_duplicate_put_ignored(self):
+        cache = MessageCache()
+        cache.put(msg(1))
+        cache.put(msg(1))
+        assert len(cache) == 1
+
+    def test_gossip_ids_filter_by_topic(self):
+        cache = MessageCache()
+        cache.put(msg(1, "a"))
+        cache.put(msg(2, "b"))
+        assert cache.gossip_ids("a") == [bytes([1]) * 32]
+
+    def test_gossip_window_narrower_than_history(self):
+        cache = MessageCache(history_length=4, gossip_length=2)
+        cache.put(msg(1))
+        cache.shift()
+        cache.shift()
+        cache.put(msg(2))
+        # msg 1 is in window 2 (outside gossip range), still retrievable.
+        assert cache.get(bytes([1]) * 32) is not None
+        assert cache.gossip_ids("t") == [bytes([2]) * 32]
+
+    def test_shift_expires_old_messages(self):
+        cache = MessageCache(history_length=2, gossip_length=1)
+        cache.put(msg(1))
+        cache.shift()
+        cache.shift()
+        assert cache.get(bytes([1]) * 32) is None
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            MessageCache(history_length=2, gossip_length=3)

@@ -1,0 +1,163 @@
+"""Unit tests for off-chain group management (tree sync, §III-C)."""
+
+import pytest
+
+from repro.chain.blockchain import Blockchain, WEI
+from repro.chain.rln_contract import RLNMembershipContract
+from repro.core.membership import GroupManager
+from repro.crypto.commitments import commit
+from repro.crypto.field import FieldElement, ZERO
+from repro.crypto.identity import Identity
+from repro.crypto.merkle import MerkleTree
+from repro.crypto.optimized_merkle import OptimizedMerkleView
+from repro.errors import NotRegistered, SyncError
+
+DEPTH = 8
+
+
+@pytest.fixture()
+def env():
+    chain = Blockchain(block_interval=12.0)
+    contract = RLNMembershipContract(deposit=1 * WEI)
+    chain.deploy(contract)
+    chain.fund("funder", 1000 * WEI)
+    manager = GroupManager(chain, contract, tree_depth=DEPTH, root_window=4)
+    return chain, contract, manager
+
+
+def register(chain, contract, identity):
+    chain.send_transaction(
+        "funder",
+        contract.address,
+        "register",
+        {"pk": identity.pk.value},
+        value=contract.deposit,
+    )
+    chain.mine_block()
+
+
+def slash(chain, contract, identity):
+    commitment, opening = commit(identity.sk.to_bytes(), b"funder")
+    chain.send_transaction(
+        "funder", contract.address, "slash_commit", {"digest": commitment.digest}
+    )
+    chain.mine_block()
+    chain.send_transaction(
+        "funder",
+        contract.address,
+        "slash_reveal",
+        {"sk": identity.sk.value, "nonce": opening.nonce},
+    )
+    chain.mine_block()
+
+
+class TestSync:
+    def test_insertion_events_applied(self, env):
+        chain, contract, manager = env
+        members = [Identity.from_secret(i + 1) for i in range(3)]
+        for member in members:
+            register(chain, contract, member)
+        assert manager.member_count() == 3
+        for i, member in enumerate(members):
+            assert manager.index_of(member.pk) == i
+        manager.assert_synced()
+
+    def test_deletion_events_applied(self, env):
+        chain, contract, manager = env
+        members = [Identity.from_secret(i + 1) for i in range(3)]
+        for member in members:
+            register(chain, contract, member)
+        slash(chain, contract, members[1])
+        assert manager.member_count() == 2
+        assert manager.tree.leaf(1) == ZERO
+        with pytest.raises(NotRegistered):
+            manager.index_of(members[1].pk)
+        manager.assert_synced()
+
+    def test_late_joiner_bootstraps_from_contract(self, env):
+        chain, contract, _ = env
+        members = [Identity.from_secret(i + 1) for i in range(4)]
+        for member in members:
+            register(chain, contract, member)
+        slash(chain, contract, members[0])
+        late = GroupManager(chain, contract, tree_depth=DEPTH)
+        assert late.member_count() == 3
+        assert late.root == GroupManager(chain, contract, tree_depth=DEPTH).root
+        late.assert_synced()
+
+    def test_two_managers_agree(self, env):
+        chain, contract, manager = env
+        other = GroupManager(chain, contract, tree_depth=DEPTH)
+        for i in range(5):
+            register(chain, contract, Identity.from_secret(100 + i))
+        assert manager.root == other.root
+
+    def test_closed_manager_stops_following(self, env):
+        chain, contract, manager = env
+        manager.close()
+        register(chain, contract, Identity.from_secret(1))
+        assert manager.member_count() == 0
+
+    def test_assert_synced_detects_divergence(self, env):
+        chain, contract, manager = env
+        register(chain, contract, Identity.from_secret(1))
+        # Corrupt the local tree.
+        manager.tree.update(0, FieldElement(999))
+        with pytest.raises(SyncError):
+            manager.assert_synced()
+
+
+class TestProofsAndRoots:
+    def test_merkle_proof_for_member(self, env):
+        chain, contract, manager = env
+        identity = Identity.from_secret(7)
+        register(chain, contract, identity)
+        proof = manager.merkle_proof(identity.pk)
+        assert proof.verify(manager.root)
+        assert proof.leaf == identity.pk
+
+    def test_proof_for_unknown_member_raises(self, env):
+        _, _, manager = env
+        with pytest.raises(NotRegistered):
+            manager.merkle_proof(FieldElement(12345))
+
+    def test_recent_roots_window(self, env):
+        chain, contract, manager = env
+        roots = [manager.root]
+        for i in range(6):
+            register(chain, contract, Identity.from_secret(200 + i))
+            roots.append(manager.root)
+        recent = manager.recent_roots()
+        assert len(recent) == 4  # window size
+        assert recent[-1] == manager.root
+        assert manager.is_acceptable_root(roots[-2])
+        assert not manager.is_acceptable_root(roots[0])
+
+    def test_stale_proof_rejected_by_root_window(self, env):
+        # §III-C: peers out of sync risk making proofs against old roots;
+        # once the root leaves the window, validators refuse it.
+        chain, contract, manager = env
+        register(chain, contract, Identity.from_secret(1))
+        old_root = manager.root
+        for i in range(5):
+            register(chain, contract, Identity.from_secret(300 + i))
+        assert not manager.is_acceptable_root(old_root)
+
+
+class TestHybridArchitecture:
+    def test_optimized_view_follows_manager(self, env):
+        # §IV-A: a storage-limited peer tracks only its own path, fed by
+        # the full-tree peer's update announcements.
+        chain, contract, manager = env
+        me = Identity.from_secret(42)
+        register(chain, contract, me)
+        view = OptimizedMerkleView(manager.merkle_proof(me.pk), manager.root)
+        manager.on_update(view.apply_update)
+        others = [Identity.from_secret(400 + i) for i in range(5)]
+        for other in others:
+            register(chain, contract, other)
+        slash(chain, contract, others[2])
+        assert view.root == manager.root
+        assert view.proof().verify(manager.root)
+        # The light peer's storage stays logarithmic.
+        assert view.storage_bytes() < manager.tree.storage_bytes()

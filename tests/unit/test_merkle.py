@@ -1,0 +1,233 @@
+"""Unit tests for the incremental Merkle tree."""
+
+import pytest
+
+from repro.crypto.field import FieldElement, ZERO
+from repro.crypto.merkle import (
+    DEFAULT_DEPTH,
+    MerkleProof,
+    MerkleTree,
+    verify_proof,
+    zero_hashes,
+)
+from repro.crypto.poseidon import poseidon2
+from repro.errors import InvalidAuthPath, MerkleError, TreeFullError
+
+
+def leaves(*values: int) -> list[FieldElement]:
+    return [FieldElement(v) for v in values]
+
+
+class TestZeroHashes:
+    def test_level_zero_is_zero_leaf(self):
+        assert zero_hashes(4)[0] == ZERO
+
+    def test_levels_chain(self):
+        zh = zero_hashes(4)
+        for level in range(4):
+            assert zh[level + 1] == poseidon2(zh[level], zh[level])
+
+
+class TestEmptyTree:
+    def test_empty_root_matches_zero_hash(self):
+        tree = MerkleTree(depth=5)
+        assert tree.root == zero_hashes(5)[5]
+
+    def test_counts(self):
+        tree = MerkleTree(depth=5)
+        assert tree.leaf_count == 0
+        assert tree.member_count == 0
+
+    def test_depth_bounds(self):
+        with pytest.raises(MerkleError):
+            MerkleTree(depth=0)
+        with pytest.raises(MerkleError):
+            MerkleTree(depth=33)
+
+
+class TestInsert:
+    def test_sequential_indices(self):
+        tree = MerkleTree(depth=4)
+        assert [tree.insert(l) for l in leaves(1, 2, 3)] == [0, 1, 2]
+
+    def test_root_changes_per_insert(self):
+        tree = MerkleTree(depth=4)
+        roots = {tree.root.value}
+        for leaf in leaves(10, 20, 30):
+            tree.insert(leaf)
+            roots.add(tree.root.value)
+        assert len(roots) == 4
+
+    def test_zero_leaf_rejected(self):
+        tree = MerkleTree(depth=4)
+        with pytest.raises(MerkleError):
+            tree.insert(ZERO)
+
+    def test_full_tree_raises(self):
+        tree = MerkleTree(depth=2)
+        for value in range(1, 5):
+            tree.insert(FieldElement(value))
+        with pytest.raises(TreeFullError):
+            tree.insert(FieldElement(99))
+
+    def test_insert_reuses_freed_slot(self):
+        tree = MerkleTree(depth=3)
+        for value in (1, 2, 3):
+            tree.insert(FieldElement(value))
+        tree.delete(1)
+        assert tree.insert(FieldElement(7)) == 1
+
+    def test_append_never_reuses_freed_slot(self):
+        tree = MerkleTree(depth=3)
+        for value in (1, 2, 3):
+            tree.append(FieldElement(value))
+        tree.delete(1)
+        assert tree.append(FieldElement(7)) == 3
+        assert tree.leaf(1) == ZERO
+
+    def test_order_independence_of_content(self):
+        a = MerkleTree.from_leaves(leaves(5, 6, 7), depth=4)
+        b = MerkleTree(depth=4)
+        for leaf in leaves(5, 6, 7):
+            b.insert(leaf)
+        assert a.root == b.root
+
+
+class TestDeleteUpdate:
+    def test_delete_zeroes_leaf(self):
+        tree = MerkleTree(depth=4)
+        tree.insert(FieldElement(9))
+        tree.delete(0)
+        assert tree.leaf(0) == ZERO
+        assert tree.member_count == 0
+
+    def test_delete_empty_raises(self):
+        tree = MerkleTree(depth=4)
+        tree.insert(FieldElement(9))
+        tree.delete(0)
+        with pytest.raises(MerkleError):
+            tree.delete(0)
+
+    def test_delete_restores_empty_root(self):
+        tree = MerkleTree(depth=4)
+        empty_root = tree.root
+        tree.insert(FieldElement(11))
+        tree.delete(0)
+        assert tree.root == empty_root
+
+    def test_update_changes_root(self):
+        tree = MerkleTree(depth=4)
+        tree.insert(FieldElement(1))
+        before = tree.root
+        tree.update(0, FieldElement(2))
+        assert tree.root != before
+        assert tree.leaf(0) == FieldElement(2)
+
+    def test_update_empty_slot_raises(self):
+        tree = MerkleTree(depth=4)
+        with pytest.raises(MerkleError):
+            tree.update(0, FieldElement(5))
+
+    def test_update_to_zero_raises(self):
+        tree = MerkleTree(depth=4)
+        tree.insert(FieldElement(5))
+        with pytest.raises(MerkleError):
+            tree.update(0, ZERO)
+
+    def test_out_of_range_index(self):
+        tree = MerkleTree(depth=2)
+        with pytest.raises(MerkleError):
+            tree.leaf(4)
+
+
+class TestProofs:
+    def test_proof_verifies(self):
+        tree = MerkleTree(depth=6)
+        for value in range(1, 20):
+            tree.insert(FieldElement(value))
+        for index in (0, 7, 18):
+            proof = tree.proof(index)
+            assert proof.verify(tree.root)
+            assert proof.leaf == tree.leaf(index)
+
+    def test_proof_fails_against_other_root(self):
+        tree = MerkleTree(depth=4)
+        tree.insert(FieldElement(1))
+        proof = tree.proof(0)
+        tree.insert(FieldElement(2))
+        assert not proof.verify(tree.root)
+
+    def test_path_bits_are_index_binary(self):
+        tree = MerkleTree(depth=4)
+        for value in range(1, 11):
+            tree.insert(FieldElement(value))
+        proof = tree.proof(6)
+        assert proof.path_bits == (0, 1, 1, 0)
+
+    def test_proof_of_empty_slot(self):
+        tree = MerkleTree(depth=4)
+        tree.insert(FieldElement(1))
+        proof = tree.proof(3)  # untouched slot
+        assert proof.leaf == ZERO
+        assert proof.verify(tree.root)
+
+    def test_verify_proof_helper_raises(self):
+        tree = MerkleTree(depth=4)
+        tree.insert(FieldElement(1))
+        proof = tree.proof(0)
+        bad = MerkleProof(
+            leaf=FieldElement(2),
+            index=proof.index,
+            siblings=proof.siblings,
+            path_bits=proof.path_bits,
+        )
+        with pytest.raises(InvalidAuthPath):
+            verify_proof(tree.root, bad)
+
+    def test_proof_byte_size(self):
+        tree = MerkleTree(depth=20)
+        tree.insert(FieldElement(1))
+        proof = tree.proof(0)
+        assert proof.byte_size() == 32 + 8 + 20 * 32
+
+    def test_find(self):
+        tree = MerkleTree(depth=4)
+        tree.insert(FieldElement(42))
+        tree.insert(FieldElement(43))
+        assert tree.find(FieldElement(43)) == 1
+        with pytest.raises(MerkleError):
+            tree.find(FieldElement(44))
+
+
+class TestStorageAccounting:
+    def test_empty_tree_stores_nothing(self):
+        assert MerkleTree(depth=20).stored_node_count() == 0
+
+    def test_sparse_growth(self):
+        tree = MerkleTree(depth=20)
+        tree.insert(FieldElement(1))
+        # One leaf materialises at most depth+1 nodes.
+        assert 1 <= tree.stored_node_count() <= 21
+
+    def test_dense_storage_formula(self):
+        # §IV: a dense depth-20 tree is ~67 MB.
+        size = MerkleTree.dense_storage_bytes(20)
+        assert 60e6 < size < 70e6
+
+    def test_from_leaves_preserves_deleted_alignment(self):
+        original = MerkleTree(depth=4)
+        for value in (1, 2, 3):
+            original.insert(FieldElement(value))
+        original.delete(1)
+        rebuilt = MerkleTree.from_leaves(list(original.leaves()), depth=4)
+        assert rebuilt.root == original.root
+
+    def test_from_leaves_capacity_check(self):
+        with pytest.raises(TreeFullError):
+            MerkleTree.from_leaves(leaves(*range(1, 6)), depth=2)
+
+
+class TestDefaultDepth:
+    def test_default_is_paper_depth(self):
+        assert DEFAULT_DEPTH == 20
+        assert MerkleTree().depth == 20

@@ -1,0 +1,28 @@
+"""Poseidon regression vectors.
+
+Any change to the round constants, MDS matrix, round schedule, or sponge
+convention would invalidate every stored tree, commitment, and nullifier in
+a deployed network.  These pinned digests catch such a change immediately.
+(The vectors are this implementation's own — see the module docstring of
+repro.crypto.poseidon on why they differ from circomlib's.)
+"""
+
+from repro.crypto.field import FieldElement
+from repro.crypto.poseidon import poseidon_hash
+
+VECTORS = {
+    (1,): 0x27D446269D4D4131665A73DD5859B2F7170740992FCD91588B08B67C189BF2A3,
+    (1, 2): 0x0745080D3DA31661E1E51124C877F855D3DD51219689E215973ED1E789A2B1CD,
+    (1, 2, 3): 0x2E908B705EFC753C8915954E6414EA7AB32FC1D54547DAE251F1B3B32F65B7B1,
+    (0,): 0x22BD4FEE6E7AFD502F521EC34ACD156597A0BD087A704DAB6AFAC36523AF093B,
+}
+
+
+def test_pinned_vectors():
+    for inputs, expected in VECTORS.items():
+        digest = poseidon_hash([FieldElement(v) for v in inputs])
+        assert digest.value == expected, f"poseidon_hash({list(inputs)}) changed"
+
+
+def test_vectors_are_distinct():
+    assert len(set(VECTORS.values())) == len(VECTORS)

@@ -1,0 +1,159 @@
+"""Unit tests for the WakuRLNRelayPeer protocol node (small deployments)."""
+
+import pytest
+
+from repro.core.config import RLNConfig
+from repro.core.deployment import RLNDeployment
+from repro.errors import ProtocolError, RegistrationError
+
+DEPTH = 8
+
+
+@pytest.fixture()
+def deployment():
+    config = RLNConfig(epoch_length=30.0, max_epoch_gap=2, tree_depth=DEPTH)
+    dep = RLNDeployment.create(peer_count=6, degree=3, seed=11, config=config)
+    dep.register_all()
+    dep.form_meshes(4.0)
+    return dep
+
+
+class TestRegistration:
+    def test_all_registered(self, deployment):
+        for peer in deployment.peers.values():
+            assert peer.registered
+            assert peer.member_index is not None
+
+    def test_publish_before_registration_rejected(self):
+        config = RLNConfig(tree_depth=DEPTH)
+        dep = RLNDeployment.create(peer_count=4, degree=2, seed=12, config=config)
+        with pytest.raises(RegistrationError):
+            dep.peer("peer-000").publish(b"too soon")
+
+    def test_double_identity_rejected(self, deployment):
+        with pytest.raises(RegistrationError):
+            deployment.peer("peer-000").create_identity()
+
+    def test_group_views_agree(self, deployment):
+        roots = {peer.group.root.value for peer in deployment.peers.values()}
+        assert len(roots) == 1
+
+
+class TestPublish:
+    def test_message_reaches_everyone(self, deployment):
+        deployment.peer("peer-000").publish(b"hello all")
+        deployment.run(3.0)
+        assert deployment.delivery_count(b"hello all") == 6
+
+    def test_one_message_per_epoch_enforced(self, deployment):
+        peer = deployment.peer("peer-001")
+        peer.publish(b"first")
+        with pytest.raises(ProtocolError, match="rate limit"):
+            peer.publish(b"second")
+        assert peer.stats.publish_rate_limited == 1
+
+    def test_next_epoch_allows_publishing(self, deployment):
+        peer = deployment.peer("peer-001")
+        peer.publish(b"epoch A")
+        deployment.run(deployment.config.epoch_length + 1)
+        peer.publish(b"epoch B")  # no exception
+        deployment.run(3.0)
+        assert deployment.delivery_count(b"epoch B") == 6
+
+    def test_bundle_attached(self, deployment):
+        message = deployment.peer("peer-002").publish(b"with proof")
+        assert message.rate_limit_proof is not None
+        assert message.rate_limit_proof.epoch == deployment.peer("peer-002").current_epoch()
+
+    def test_force_bypasses_local_limit(self, deployment):
+        peer = deployment.peer("peer-003")
+        peer.publish(b"ok", force=True)
+        peer.publish(b"spam", force=True)  # no exception locally
+        assert peer.stats.published == 2
+
+
+class TestSpamHandling:
+    def test_spam_contained_and_slashed(self, deployment):
+        spammer = deployment.peer("peer-004")
+        spammer.publish(b"innocent", force=True)
+        deployment.run(2.0)
+        spammer.publish(b"flood", force=True)
+        deployment.run(2.0)
+        # Honest message reached everyone, the flood only its publisher.
+        assert deployment.delivery_count(b"innocent") == 6
+        assert deployment.delivery_count(b"flood") == 1
+        assert deployment.total_spam_detected() >= 1
+        # Let commit-reveal settle across blocks.
+        deployment.run(5 * deployment.chain.block_interval)
+        assert not deployment.contract.is_member(spammer.identity.pk)
+
+    def test_spam_callback_invoked(self, deployment):
+        heard = []
+        for peer in deployment.peers.values():
+            peer.on_spam(heard.append)
+        spammer = deployment.peer("peer-005")
+        spammer.publish(b"a", force=True)
+        deployment.run(2.0)
+        spammer.publish(b"b", force=True)
+        deployment.run(2.0)
+        assert heard  # at least one neighbor produced evidence
+        from repro.crypto.shamir import recover_secret
+
+        evidence = heard[0]
+        assert recover_secret(evidence.share_a, evidence.share_b) == spammer.identity.sk
+
+    def test_exactly_one_slasher_rewarded(self, deployment):
+        from repro.core.slashing import SlashState
+
+        spammer = deployment.peer("peer-004")
+        spammer.publish(b"x", force=True)
+        deployment.run(2.0)
+        spammer.publish(b"y", force=True)
+        deployment.run(6 * deployment.chain.block_interval)
+        rewarded = [
+            attempt
+            for peer in deployment.peers.values()
+            for attempt in peer.slasher.attempts
+            if attempt.state is SlashState.REWARDED
+        ]
+        assert len(rewarded) == 1
+        assert rewarded[0].reward == deployment.contract.deposit
+
+    def test_supply_conserved_through_slashing(self, deployment):
+        supply_before = deployment.chain.total_supply()
+        spammer = deployment.peer("peer-004")
+        spammer.publish(b"x", force=True)
+        deployment.run(2.0)
+        spammer.publish(b"y", force=True)
+        deployment.run(6 * deployment.chain.block_interval)
+        assert deployment.chain.total_supply() == supply_before
+
+    def test_slashed_spammer_cannot_prove_anymore(self, deployment):
+        from repro.errors import NotRegistered, ProvingError
+
+        spammer = deployment.peer("peer-004")
+        spammer.publish(b"x", force=True)
+        deployment.run(2.0)
+        spammer.publish(b"y", force=True)
+        deployment.run(6 * deployment.chain.block_interval)
+        deployment.run(deployment.config.epoch_length)  # fresh epoch
+        with pytest.raises((NotRegistered, ProvingError, RegistrationError)):
+            spammer.publish(b"after slashing")
+
+
+class TestEpochs:
+    def test_current_epoch_advances_with_time(self, deployment):
+        peer = deployment.peer("peer-000")
+        e0 = peer.current_epoch()
+        deployment.run(deployment.config.epoch_length)
+        assert peer.current_epoch() == e0 + 1
+
+    def test_clock_offset_shifts_epoch(self):
+        from repro.net.clock import DriftModel
+
+        config = RLNConfig(epoch_length=1.0, max_epoch_gap=3, tree_depth=DEPTH)
+        dep = RLNDeployment.create(
+            peer_count=4, degree=2, seed=13, config=config, drift=DriftModel(2.0)
+        )
+        epochs = {p.current_epoch() for p in dep.peers.values()}
+        assert len(epochs) > 1  # drift visible at 1 s epochs

@@ -1,0 +1,119 @@
+"""Cross-validation of the Groth16 and native prover backends.
+
+DESIGN.md's substitution 1 claims the native backend accepts and rejects
+exactly the same (statement, witness) pairs as the full R1CS pipeline.
+These tests check that claim case by case.
+"""
+
+import pytest
+
+from repro.crypto.field import FieldElement
+from repro.crypto.identity import Identity
+from repro.crypto.merkle import MerkleTree
+from repro.errors import ProvingError
+from repro.zksnark.prover import (
+    Groth16Prover,
+    NativeProver,
+    reset_shared_provers,
+    shared_prover,
+)
+from repro.zksnark.rln_circuit import RLNPublicInputs, RLNWitness
+
+DEPTH = 4
+
+
+@pytest.fixture(scope="module")
+def provers():
+    return Groth16Prover(DEPTH), NativeProver(DEPTH)
+
+
+@pytest.fixture()
+def case():
+    identity = Identity.from_secret(2024)
+    tree = MerkleTree(depth=DEPTH)
+    tree.insert(FieldElement(5))
+    index = tree.insert(identity.pk)
+    witness = RLNWitness(identity=identity, merkle_proof=tree.proof(index))
+    public = RLNPublicInputs.for_message(identity, b"msg", FieldElement(42), tree.root)
+    return public, witness
+
+
+def tamper(public: RLNPublicInputs, field: str) -> RLNPublicInputs:
+    kwargs = {
+        name: getattr(public, name)
+        for name in ("x", "external_nullifier", "y", "internal_nullifier", "root")
+    }
+    kwargs[field] = kwargs[field] + 1
+    return RLNPublicInputs(**kwargs)
+
+
+class TestEquivalence:
+    def test_both_accept_honest(self, provers, case):
+        public, witness = case
+        for prover in provers:
+            proof = prover.prove(public, witness)
+            assert prover.verify(public, proof)
+
+    @pytest.mark.parametrize(
+        "field", ["x", "external_nullifier", "y", "internal_nullifier", "root"]
+    )
+    def test_both_reject_tampered_statement_at_prove_time(self, provers, case, field):
+        public, witness = case
+        bad = tamper(public, field)
+        for prover in provers:
+            with pytest.raises(ProvingError):
+                prover.prove(bad, witness)
+
+    def test_both_reject_wrong_depth_witness(self, provers, case):
+        public, _ = case
+        identity = Identity.from_secret(11)
+        tree = MerkleTree(depth=DEPTH + 1)
+        index = tree.insert(identity.pk)
+        witness = RLNWitness(identity=identity, merkle_proof=tree.proof(index))
+        for prover in provers:
+            with pytest.raises(ProvingError):
+                prover.prove(public, witness)
+
+    def test_both_reject_non_member_witness(self, provers):
+        identity = Identity.from_secret(77)
+        own_tree = MerkleTree(depth=DEPTH)
+        index = own_tree.insert(identity.pk)
+        witness = RLNWitness(identity=identity, merkle_proof=own_tree.proof(index))
+        group_tree = MerkleTree(depth=DEPTH)
+        group_tree.insert(FieldElement(123))
+        public = RLNPublicInputs.for_message(
+            identity, b"m", FieldElement(9), group_tree.root
+        )
+        for prover in provers:
+            with pytest.raises(ProvingError):
+                prover.prove(public, witness)
+
+    def test_verification_binds_statement_identically(self, provers, case):
+        public, witness = case
+        for prover in provers:
+            proof = prover.prove(public, witness)
+            for field in ("x", "external_nullifier", "y", "internal_nullifier", "root"):
+                assert not prover.verify(tamper(public, field), proof)
+
+
+class TestSharedRegistry:
+    def test_singleton_per_depth_and_backend(self):
+        reset_shared_provers()
+        a = shared_prover(DEPTH, "native")
+        b = shared_prover(DEPTH, "native")
+        assert a is b
+        c = shared_prover(DEPTH + 1, "native")
+        assert c is not a
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ProvingError):
+            shared_prover(DEPTH, "starkware")
+
+    def test_shared_prover_proofs_interoperate(self, case):
+        # Two peers using the shared prover verify each other's proofs —
+        # one trusted setup per network.
+        reset_shared_provers()
+        public, witness = case
+        peer_a = shared_prover(DEPTH, "native")
+        peer_b = shared_prover(DEPTH, "native")
+        assert peer_b.verify(public, peer_a.prove(public, witness))

@@ -1,0 +1,190 @@
+"""Unit tests for RLN-v2 multi-message rate limiting."""
+
+import pytest
+
+from repro.core.nullifier_log import NullifierLog, NullifierOutcome
+from repro.crypto.field import FieldElement
+from repro.crypto.hashing import hash_message_to_field
+from repro.crypto.identity import Identity
+from repro.crypto.merkle import MerkleTree
+from repro.crypto.shamir import recover_secret
+from repro.errors import ProvingError, SnarkError
+from repro.zksnark.prover_v2 import Groth16ProverV2, NativeProverV2
+from repro.zksnark.rln_v2_circuit import (
+    RLNv2PublicInputs,
+    RLNv2Witness,
+    circuit_shape_v2,
+    derive_slope_v2,
+    synthesize_v2,
+)
+from repro.zksnark.rln_circuit import circuit_shape
+
+DEPTH = 4
+LIMIT = 3
+EPOCH = FieldElement(54_827_003)
+
+
+@pytest.fixture(scope="module")
+def member():
+    identity = Identity.from_secret(0x1234)
+    tree = MerkleTree(depth=DEPTH)
+    index = tree.insert(identity.pk)
+    return identity, tree, tree.proof(index)
+
+
+def publics_for(identity, tree, payload, message_id, limit=LIMIT):
+    return RLNv2PublicInputs.for_message(
+        identity, payload, EPOCH, tree.root, message_id=message_id, message_limit=limit
+    )
+
+
+class TestDerivations:
+    def test_distinct_ids_give_distinct_slopes(self):
+        sk = FieldElement(5)
+        slopes = {derive_slope_v2(sk, EPOCH, i).value for i in range(4)}
+        assert len(slopes) == 4
+
+    def test_slope_depends_on_epoch(self):
+        sk = FieldElement(5)
+        assert derive_slope_v2(sk, EPOCH, 0) != derive_slope_v2(sk, EPOCH + 1, 0)
+
+    def test_message_id_out_of_range_rejected(self, member):
+        identity, tree, _ = member
+        with pytest.raises(ProvingError):
+            publics_for(identity, tree, b"m", message_id=LIMIT)
+
+
+class TestCircuit:
+    def test_honest_witness_satisfies(self, member):
+        identity, tree, proof = member
+        public = publics_for(identity, tree, b"hello", message_id=1)
+        witness = RLNv2Witness(identity=identity, merkle_proof=proof, message_id=1)
+        cs = synthesize_v2(DEPTH, LIMIT, public=public, witness=witness)
+        cs.check_satisfied()
+
+    def test_message_id_at_limit_violates(self, member):
+        identity, tree, proof = member
+        # Build publics as if the id were legal, witness uses id = LIMIT.
+        slope = derive_slope_v2(identity.sk, EPOCH, LIMIT)
+        x = hash_message_to_field(b"m")
+        from repro.zksnark.rln_v2_circuit import derive_nullifier_v2
+
+        public = RLNv2PublicInputs(
+            x=x,
+            external_nullifier=EPOCH,
+            y=identity.sk + slope * x,
+            internal_nullifier=derive_nullifier_v2(slope),
+            root=tree.root,
+            message_limit=LIMIT,
+        )
+        witness = RLNv2Witness(identity=identity, merkle_proof=proof, message_id=LIMIT)
+        cs = synthesize_v2(DEPTH, LIMIT, public=public, witness=witness)
+        assert not cs.is_satisfied()
+
+    def test_wrong_limit_public_input_violates(self, member):
+        identity, tree, proof = member
+        public = publics_for(identity, tree, b"m", message_id=0)
+        lax = RLNv2PublicInputs(
+            x=public.x,
+            external_nullifier=public.external_nullifier,
+            y=public.y,
+            internal_nullifier=public.internal_nullifier,
+            root=public.root,
+            message_limit=LIMIT + 5,
+        )
+        witness = RLNv2Witness(identity=identity, merkle_proof=proof, message_id=0)
+        with pytest.raises(ProvingError):
+            synthesize_v2(DEPTH, LIMIT, public=lax, witness=witness)
+
+    def test_shape_larger_than_v1(self):
+        # Range check + 3-input Poseidon cost extra constraints.
+        assert (
+            circuit_shape_v2(DEPTH, LIMIT).num_constraints
+            > circuit_shape(DEPTH).num_constraints
+        )
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(SnarkError):
+            synthesize_v2(DEPTH, 0)
+        with pytest.raises(SnarkError):
+            synthesize_v2(DEPTH, 1 << 20)
+
+
+@pytest.mark.parametrize("backend", [NativeProverV2, Groth16ProverV2])
+class TestProvers:
+    @pytest.fixture(scope="class")
+    def provers(self):
+        return {
+            NativeProverV2: NativeProverV2(DEPTH, LIMIT),
+            Groth16ProverV2: Groth16ProverV2(DEPTH, LIMIT),
+        }
+
+    def test_n_messages_per_epoch_all_verify(self, backend, provers, member):
+        identity, tree, proof = member
+        prover = provers[backend]
+        nullifiers = set()
+        for message_id in range(LIMIT):
+            payload = b"msg-%d" % message_id
+            public = publics_for(identity, tree, payload, message_id)
+            witness = RLNv2Witness(
+                identity=identity, merkle_proof=proof, message_id=message_id
+            )
+            zkp = prover.prove(public, witness)
+            assert prover.verify(public, zkp)
+            nullifiers.add(public.internal_nullifier.value)
+        # All N messages carry unlinkable (distinct) nullifiers.
+        assert len(nullifiers) == LIMIT
+
+    def test_overspending_id_unprovable(self, backend, provers, member):
+        identity, tree, proof = member
+        prover = provers[backend]
+        slope = derive_slope_v2(identity.sk, EPOCH, LIMIT + 1)
+        x = hash_message_to_field(b"over")
+        from repro.zksnark.rln_v2_circuit import derive_nullifier_v2
+
+        public = RLNv2PublicInputs(
+            x=x,
+            external_nullifier=EPOCH,
+            y=identity.sk + slope * x,
+            internal_nullifier=derive_nullifier_v2(slope),
+            root=tree.root,
+            message_limit=LIMIT,
+        )
+        witness = RLNv2Witness(
+            identity=identity, merkle_proof=proof, message_id=LIMIT + 1
+        )
+        with pytest.raises(ProvingError):
+            prover.prove(public, witness)
+
+    def test_id_reuse_recovers_secret_key(self, backend, provers, member):
+        identity, tree, proof = member
+        prover = provers[backend]
+        log = NullifierLog()
+        epoch_number = 54_827_003
+        shares = []
+        for payload in (b"first", b"second"):
+            public = publics_for(identity, tree, payload, message_id=1)
+            witness = RLNv2Witness(identity=identity, merkle_proof=proof, message_id=1)
+            assert prover.verify(public, prover.prove(public, witness))
+            outcome, evidence = log.observe(
+                epoch_number, public.internal_nullifier, public.share, payload
+            )
+            shares.append(public.share)
+        assert outcome is NullifierOutcome.SPAM
+        assert recover_secret(evidence.share_a, evidence.share_b) == identity.sk
+
+    def test_verification_binds_limit(self, backend, provers, member):
+        identity, tree, proof = member
+        prover = provers[backend]
+        public = publics_for(identity, tree, b"m", message_id=0)
+        witness = RLNv2Witness(identity=identity, merkle_proof=proof, message_id=0)
+        zkp = prover.prove(public, witness)
+        forged = RLNv2PublicInputs(
+            x=public.x,
+            external_nullifier=public.external_nullifier,
+            y=public.y,
+            internal_nullifier=public.internal_nullifier,
+            root=public.root,
+            message_limit=LIMIT + 1,
+        )
+        assert not prover.verify(forged, zkp)

@@ -1,0 +1,95 @@
+"""Unit tests for GossipSub v1.1 peer scoring."""
+
+from repro.gossipsub.scoring import PeerScoreKeeper, ScoreParams
+
+
+class TestScoreFunction:
+    def test_unknown_peer_scores_zero(self):
+        keeper = PeerScoreKeeper()
+        assert keeper.score("nobody", now=0.0) == 0.0
+
+    def test_time_in_mesh_accrues(self):
+        keeper = PeerScoreKeeper()
+        keeper.on_join_mesh("p", now=0.0)
+        assert keeper.score("p", now=100.0) > keeper.score("p", now=10.0)
+
+    def test_time_in_mesh_capped(self):
+        params = ScoreParams(time_in_mesh_cap=100.0)
+        keeper = PeerScoreKeeper(params)
+        keeper.on_join_mesh("p", now=0.0)
+        assert keeper.score("p", now=1000.0) == keeper.score("p", now=200.0)
+
+    def test_leave_mesh_freezes_time(self):
+        keeper = PeerScoreKeeper()
+        keeper.on_join_mesh("p", now=0.0)
+        keeper.on_leave_mesh("p", now=50.0)
+        assert keeper.score("p", now=500.0) == keeper.score("p", now=51.0)
+
+    def test_first_deliveries_raise_score(self):
+        keeper = PeerScoreKeeper()
+        keeper.on_first_delivery("p")
+        assert keeper.score("p", now=0.0) > 0
+
+    def test_first_deliveries_capped(self):
+        params = ScoreParams(first_delivery_cap=5.0)
+        keeper = PeerScoreKeeper(params)
+        for _ in range(100):
+            keeper.on_first_delivery("p")
+        assert keeper.score("p", now=0.0) <= params.first_delivery_weight * 5.0
+
+    def test_invalid_messages_penalise_quadratically(self):
+        keeper = PeerScoreKeeper()
+        keeper.on_invalid_message("p")
+        one = keeper.score("p", now=0.0)
+        keeper.on_invalid_message("p")
+        two = keeper.score("p", now=0.0)
+        assert two == 4 * one  # (2 invalids)^2 = 4x the single-invalid penalty
+        assert two < one < 0
+
+    def test_behaviour_penalty(self):
+        keeper = PeerScoreKeeper()
+        keeper.on_behaviour_penalty("p")
+        assert keeper.score("p", now=0.0) < 0
+
+    def test_decay_recovers_score(self):
+        keeper = PeerScoreKeeper()
+        keeper.on_invalid_message("p")
+        before = keeper.score("p", now=0.0)
+        for _ in range(200):
+            keeper.decay_scores()
+        assert keeper.score("p", now=0.0) > before
+        assert abs(keeper.score("p", now=0.0)) < 1e-3
+
+
+class TestThresholds:
+    def test_graylist_after_enough_invalids(self):
+        keeper = PeerScoreKeeper()
+        for _ in range(5):
+            keeper.on_invalid_message("p")
+        assert keeper.graylisted("p", now=0.0)
+
+    def test_gossip_threshold_is_lenient(self):
+        keeper = PeerScoreKeeper()
+        keeper.on_invalid_message("p")  # score -10
+        assert not keeper.accepts_gossip("p", now=0.0)
+
+    def test_publish_threshold(self):
+        keeper = PeerScoreKeeper()
+        for _ in range(3):
+            keeper.on_invalid_message("p")  # -90
+        assert not keeper.accepts_publish("p", now=0.0)
+
+    def test_mesh_eligibility(self):
+        keeper = PeerScoreKeeper()
+        assert keeper.mesh_eligible("fresh", now=0.0)  # zero score is eligible
+        keeper.on_invalid_message("bad")
+        assert not keeper.mesh_eligible("bad", now=0.0)
+
+    def test_fresh_identity_has_clean_slate(self):
+        # The property the bot-army attack exploits: a new peer id starts
+        # at score zero regardless of its operator's history.
+        keeper = PeerScoreKeeper()
+        for _ in range(10):
+            keeper.on_invalid_message("bot-1")
+        assert keeper.graylisted("bot-1", now=0.0)
+        assert not keeper.graylisted("bot-2", now=0.0)

@@ -1,0 +1,179 @@
+"""Unit tests for the Semaphore baseline contract (on-chain tree + messages)."""
+
+import pytest
+
+from repro.chain.blockchain import Blockchain, WEI
+from repro.chain.rln_contract import RLNMembershipContract
+from repro.chain.semaphore_contract import SemaphoreContract
+from repro.crypto.identity import Identity
+
+
+@pytest.fixture()
+def env():
+    chain = Blockchain(block_interval=12.0)
+    contract = SemaphoreContract(tree_depth=16, deposit=1 * WEI)
+    chain.deploy(contract)
+    for account in ("alice", "bob"):
+        chain.fund(account, 50 * WEI)
+    return chain, contract
+
+
+def register(chain, contract, account, identity):
+    tx = chain.send_transaction(
+        account,
+        contract.address,
+        "register",
+        {"pk": identity.pk.value},
+        value=contract.deposit,
+        calldata=identity.pk.to_bytes(),
+        gas_limit=5_000_000,
+    )
+    chain.mine_block()
+    return chain.receipt(tx)
+
+
+class TestOnChainTree:
+    def test_register_updates_tree(self, env):
+        chain, contract = env
+        identity = Identity.from_secret(1)
+        receipt = register(chain, contract, "alice", identity)
+        assert receipt.success
+        assert contract.tree.member_count == 1
+        assert contract.tree.leaf(0) == identity.pk
+
+    def test_duplicate_rejected(self, env):
+        chain, contract = env
+        identity = Identity.from_secret(2)
+        register(chain, contract, "alice", identity)
+        assert not register(chain, contract, "bob", identity).success
+
+    def test_insertion_gas_scales_with_depth(self):
+        # §III-A: on-chain tree updates cost O(log N) storage writes.
+        def gas_for_depth(depth: int) -> int:
+            chain = Blockchain()
+            contract = SemaphoreContract(address=f"sem{depth}", tree_depth=depth)
+            chain.deploy(contract)
+            chain.fund("a", 10 * WEI)
+            return register(chain, contract, "a", Identity.from_secret(depth)).gas_used
+
+        shallow = gas_for_depth(8)
+        deep = gas_for_depth(24)
+        assert deep > shallow + 15 * 5_000  # ~one SSTORE per extra level
+
+    def test_insertion_costs_far_more_than_rln_list(self, env):
+        chain, contract = env
+        semaphore_gas = register(chain, contract, "alice", Identity.from_secret(3)).gas_used
+        rln = RLNMembershipContract(deposit=1 * WEI)
+        chain.deploy(rln)
+        tx = chain.send_transaction(
+            "bob",
+            rln.address,
+            "register",
+            {"pk": Identity.from_secret(4).pk.value},
+            value=1 * WEI,
+            calldata=b"\x01" * 32,
+        )
+        chain.mine_block()
+        rln_gas = chain.receipt(tx).gas_used
+        assert semaphore_gas > 2 * rln_gas
+
+    def test_remove_pays_back_and_charges_path(self, env):
+        chain, contract = env
+        identity = Identity.from_secret(5)
+        register(chain, contract, "alice", identity)
+        before = chain.balance_of("alice")
+        tx = chain.send_transaction(
+            "alice", contract.address, "remove", {"index": 0}, gas_limit=5_000_000
+        )
+        chain.mine_block()
+        receipt = chain.receipt(tx)
+        assert receipt.success
+        assert chain.balance_of("alice") > before
+        assert receipt.gas_used > 16 * 5_000  # one write per level
+
+    def test_remove_requires_owner(self, env):
+        chain, contract = env
+        register(chain, contract, "alice", Identity.from_secret(6))
+        tx = chain.send_transaction(
+            "bob", contract.address, "remove", {"index": 0}, gas_limit=5_000_000
+        )
+        chain.mine_block()
+        assert not chain.receipt(tx).success
+
+
+class TestOnChainSignals:
+    def signal(self, chain, contract, account, payload, internal_nullifier, share=(1, 2)):
+        tx = chain.send_transaction(
+            account,
+            contract.address,
+            "signal",
+            {
+                "payload": payload,
+                "external_nullifier": 99,
+                "internal_nullifier": internal_nullifier,
+                "share_x": share[0],
+                "share_y": share[1],
+            },
+            calldata=payload,
+            gas_limit=5_000_000,
+        )
+        chain.mine_block()
+        return chain.receipt(tx)
+
+    def test_signal_stored_with_block_number(self, env):
+        chain, contract = env
+        receipt = self.signal(chain, contract, "alice", b"hello", 111)
+        assert receipt.success and receipt.return_value["accepted"]
+        stored = contract.signals[(99, 111)]
+        assert stored.payload == b"hello"
+        assert stored.block_number == chain.block_number
+
+    def test_signal_visible_only_after_mining(self, env):
+        # §III-A adjustment 2: "published messages will not be visible
+        # until blocks containing those message transactions get mined".
+        chain, contract = env
+        chain.send_transaction(
+            "alice",
+            contract.address,
+            "signal",
+            {
+                "payload": b"pending",
+                "external_nullifier": 1,
+                "internal_nullifier": 2,
+                "share_x": 1,
+                "share_y": 2,
+            },
+            gas_limit=5_000_000,
+        )
+        assert (1, 2) not in contract.signals
+        chain.mine_block()
+        assert (1, 2) in contract.signals
+
+    def test_double_signal_detected(self, env):
+        chain, contract = env
+        self.signal(chain, contract, "alice", b"first", 7, share=(1, 10))
+        receipt = self.signal(chain, contract, "alice", b"second", 7, share=(2, 20))
+        assert receipt.success
+        assert receipt.return_value["double_signal"]
+        events = chain.events(contract=contract.address, name="DoubleSignal")
+        assert len(events) == 1
+
+    def test_exact_duplicate_reverts(self, env):
+        chain, contract = env
+        self.signal(chain, contract, "alice", b"same", 8, share=(3, 30))
+        receipt = self.signal(chain, contract, "alice", b"same", 8, share=(3, 30))
+        assert not receipt.success
+
+    def test_signal_gas_scales_with_payload(self, env):
+        chain, contract = env
+        small = self.signal(chain, contract, "alice", b"x" * 32, 20)
+        large = self.signal(chain, contract, "alice", b"x" * 1024, 21)
+        assert large.gas_used > small.gas_used + 20_000
+
+    def test_signals_since(self, env):
+        chain, contract = env
+        self.signal(chain, contract, "alice", b"one", 30)
+        block = chain.block_number
+        self.signal(chain, contract, "alice", b"two", 31)
+        recent = contract.signals_since(block + 1)
+        assert [s.payload for s in recent] == [b"two"]

@@ -1,0 +1,137 @@
+"""Unit tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.simulator import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.run_until_idle()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_insertion_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(1.0, lambda: fired.append(2))
+        sim.run_until_idle()
+        assert fired == [1, 2]
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.5, lambda: seen.append(sim.now))
+        sim.run_until_idle()
+        assert seen == [5.5]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(NetworkError):
+            Simulator().schedule(-1, lambda: None)
+
+    def test_past_absolute_time_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run_until_idle()
+        with pytest.raises(NetworkError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: sim.schedule(1.0, lambda: fired.append(sim.now)))
+        sim.run_until_idle()
+        assert fired == [2.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        sim.run_until_idle()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert sim.pending_events == 1
+
+
+class TestRun:
+    def test_run_stops_at_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.run(until=3.0)
+        assert fired == [1]
+        assert sim.now == 3.0
+
+    def test_run_backwards_rejected(self):
+        sim = Simulator()
+        sim.run(until=5.0)
+        with pytest.raises(NetworkError):
+            sim.run(until=1.0)
+
+    def test_run_until_idle_bounded_by_max_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(100.0, lambda: fired.append(1))
+        sim.run_until_idle(max_time=50.0)
+        assert fired == []
+
+    def test_runaway_guard(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(0.001, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(NetworkError):
+            sim.run_until_idle(max_events=100)
+
+
+class TestTicker:
+    def test_fires_repeatedly(self):
+        sim = Simulator()
+        fired = []
+        sim.every(1.0, lambda: fired.append(sim.now))
+        sim.run(until=3.5)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_stop_function(self):
+        sim = Simulator()
+        fired = []
+        stop = sim.every(1.0, lambda: fired.append(sim.now))
+        sim.run(until=2.5)
+        stop()
+        sim.run(until=10.0)
+        assert fired == [1.0, 2.0]
+
+    def test_start_delay(self):
+        sim = Simulator()
+        fired = []
+        sim.every(1.0, lambda: fired.append(sim.now), start_delay=0.25)
+        sim.run(until=2.5)
+        assert fired == [0.25, 1.25, 2.25]
+
+    def test_invalid_interval(self):
+        with pytest.raises(NetworkError):
+            Simulator().every(0, lambda: None)
+
+    def test_processed_counter(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run_until_idle()
+        assert sim.processed_events == 1

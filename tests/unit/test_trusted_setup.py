@@ -1,0 +1,102 @@
+"""Unit tests for the simulated powers-of-tau ceremony."""
+
+import pytest
+
+from repro.errors import SetupError
+from repro.zksnark.rln_circuit import circuit_shape
+from repro.zksnark.trusted_setup import Ceremony, run_default_ceremony
+
+
+@pytest.fixture(scope="module")
+def shape():
+    return circuit_shape(3)
+
+
+class TestCeremony:
+    def test_contributions_chain(self):
+        ceremony = Ceremony.start()
+        ceremony.contribute("alice")
+        ceremony.contribute("bob")
+        assert ceremony.verify_transcript()
+        assert len(ceremony.contributions) == 2
+
+    def test_accumulator_changes_per_contribution(self):
+        ceremony = Ceremony.start()
+        before = ceremony.accumulator
+        ceremony.contribute("alice")
+        assert ceremony.accumulator != before
+
+    def test_tampered_transcript_detected(self):
+        ceremony = Ceremony.start()
+        ceremony.contribute("alice")
+        ceremony.contribute("bob")
+        tampered = ceremony.contributions[0]
+        ceremony.contributions[0] = type(tampered)(
+            participant=tampered.participant,
+            entropy_commitment=b"\x00" * 32,
+            accumulator_after=tampered.accumulator_after,
+        )
+        assert not ceremony.verify_transcript()
+
+    def test_reordered_contributions_detected(self):
+        ceremony = Ceremony.start()
+        ceremony.contribute("alice")
+        ceremony.contribute("bob")
+        ceremony.contributions.reverse()
+        assert not ceremony.verify_transcript()
+
+    def test_empty_participant_rejected(self):
+        with pytest.raises(SetupError):
+            Ceremony.start().contribute("")
+
+    def test_weak_entropy_rejected(self):
+        with pytest.raises(SetupError):
+            Ceremony.start().contribute("alice", entropy=b"short")
+
+    def test_deterministic_given_entropy(self):
+        def run():
+            ceremony = Ceremony.start()
+            ceremony.contribute("alice", entropy=b"a" * 32)
+            ceremony.contribute("bob", entropy=b"b" * 32)
+            return ceremony.accumulator
+
+        assert run() == run()
+
+
+class TestFinalize:
+    def test_finalize_binds_circuit_shape(self, shape):
+        ceremony = Ceremony.start()
+        ceremony.contribute("alice", entropy=b"a" * 32)
+        params3 = ceremony.finalize(shape)
+        params4 = ceremony.finalize(circuit_shape(4))
+        assert params3.secret_tau != params4.secret_tau
+
+    def test_finalize_requires_contribution(self, shape):
+        with pytest.raises(SetupError):
+            Ceremony.start().finalize(shape)
+
+    def test_finalize_rejects_bad_transcript(self, shape):
+        ceremony = Ceremony.start()
+        ceremony.contribute("alice")
+        ceremony.accumulator = b"\x00" * 32
+        with pytest.raises(SetupError):
+            ceremony.finalize(shape)
+
+    def test_any_single_honest_contribution_changes_tau(self, shape):
+        base = Ceremony.start()
+        base.contribute("alice", entropy=b"a" * 32)
+        params_a = base.finalize(shape)
+        extended = Ceremony.start()
+        extended.contribute("alice", entropy=b"a" * 32)
+        extended.contribute("honest", entropy=b"h" * 32)
+        params_b = extended.finalize(shape)
+        assert params_a.secret_tau != params_b.secret_tau
+        assert params_b.contributor_count == 2
+
+    def test_run_default_ceremony(self, shape):
+        params = run_default_ceremony(shape, participants=4)
+        assert params.contributor_count == 4
+
+    def test_run_default_requires_participant(self, shape):
+        with pytest.raises(SetupError):
+            run_default_ceremony(shape, participants=0)
