@@ -31,6 +31,7 @@ from repro.net.latency import ConstantLatency, LatencyModel
 from repro.net.simulator import Simulator
 from repro.net.topology import random_regular
 from repro.net.transport import Network
+from repro.pipeline.pipeline import PipelineConfig
 from repro.zksnark.prover import RLNProver, shared_prover
 
 
@@ -67,6 +68,7 @@ class RLNDeployment:
         block_interval: float = DEFAULT_BLOCK_INTERVAL,
         funding_wei: int = 100 * WEI,
         auto_slash: bool = True,
+        pipeline_config: PipelineConfig | None = None,
         start: bool = True,
     ) -> "RLNDeployment":
         """Build the whole stack; peers are started but not yet registered."""
@@ -111,6 +113,7 @@ class RLNDeployment:
                 score_params=score_params,
                 enable_scoring=enable_scoring,
                 auto_slash=auto_slash,
+                pipeline_config=pipeline_config,
                 rng=random.Random(seed + 2 + len(peers)),
             )
         deployment = cls(

@@ -15,7 +15,7 @@ enclosing :class:`repro.waku.message.WakuMessage`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.crypto.field import FIELD_BYTES, FieldElement
 from repro.crypto.hashing import hash_message_to_field
@@ -61,3 +61,21 @@ class RateLimitProof:
     def byte_size(self) -> int:
         """Wire size: 4 field elements + 8-byte epoch + 128-byte proof."""
         return 4 * FIELD_BYTES + 8 + PROOF_SIZE
+
+    def forged_copy(
+        self, *, epoch_shift: int = 0, proof: Proof | None = None
+    ) -> "RateLimitProof":
+        """An adversarial variation of this bundle for attack modelling.
+
+        Same statement fields, an optionally shifted epoch, and (by
+        default) a garbage proof — the shapes the invalid-proof-flood
+        experiments (E10/E11) and the §III-F tests throw at a routing
+        peer's ingress pipeline.
+        """
+        return replace(
+            self,
+            epoch=self.epoch + epoch_shift,
+            proof=proof
+            if proof is not None
+            else Proof(a=bytes(32), b=bytes(64), c=bytes(32)),
+        )

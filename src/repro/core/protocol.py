@@ -7,9 +7,20 @@ Figure 1 of the paper composes the system:
 * a :class:`~repro.core.membership.GroupManager` syncing the identity tree
   from the membership contract's events (§III-C),
 * a :class:`~repro.core.validator.BundleValidator` implementing the §III-F
-  routing decision, installed as the relay's message validator,
+  routing decision, wrapped in a staged
+  :class:`~repro.pipeline.pipeline.ValidationPipeline` (prefilter gates,
+  ingress token buckets, verdict cache, batched Groth16 verification)
+  installed as the relay's message validator,
 * a :class:`~repro.core.slashing.Slasher` running commit-reveal slashing
   when the validator produces spam evidence.
+
+With the default ``PipelineConfig()`` (``batch_size=1``) validation is
+synchronous and observationally identical to the seed's direct
+``BundleValidator`` hook for traffic below the ingress token-bucket
+rates (under a flood the buckets shed load the seed would have
+verified); larger batch sizes defer verdicts through the router's
+:class:`~repro.gossipsub.router.DeferredValidation` until the batch
+flushes on its size-or-deadline trigger.
 
 Publishing (§III-E) derives the epoch from the peer's own (possibly
 drifting) clock, enforces the local one-message-per-epoch discipline, and
@@ -35,11 +46,17 @@ from repro.core.validator import BundleValidator, ValidationOutcome
 from repro.crypto.identity import Identity
 from repro.errors import ProtocolError, RegistrationError
 from repro.gossipsub.messages import PubSubMessage
-from repro.gossipsub.router import GossipSubParams, ValidationResult
+from repro.gossipsub.router import DeferredValidation, GossipSubParams, ValidationResult
 from repro.gossipsub.scoring import ScoreParams
 from repro.net.clock import PeerClock
 from repro.net.simulator import Simulator
 from repro.net.transport import Network
+from repro.pipeline.pipeline import (
+    PendingVerdict,
+    PipelineConfig,
+    ValidationPipeline,
+    Verdict,
+)
 from repro.waku.message import WakuMessage
 from repro.waku.relay import WakuRelay
 from repro.zksnark.prover import RLNProver, shared_prover
@@ -78,6 +95,7 @@ class WakuRLNRelayPeer:
         score_params: ScoreParams | None = None,
         enable_scoring: bool = False,
         auto_slash: bool = True,
+        pipeline_config: PipelineConfig | None = None,
         rng: random.Random | None = None,
     ) -> None:
         self.peer_id = peer_id
@@ -111,6 +129,13 @@ class WakuRLNRelayPeer:
             root_window=self.config.root_window,
         )
         self.validator = BundleValidator(self.config, self.prover, self.group)
+        self.pipeline = ValidationPipeline(
+            self.validator,
+            self.prover,
+            simulator,
+            pipeline_config or PipelineConfig(),
+            on_rate_limit_penalty=self._on_rate_limit_overflow,
+        )
         self.slasher = Slasher(peer_id, chain, contract.address)
         self.relay.set_validator(self._validate)
 
@@ -120,15 +145,39 @@ class WakuRLNRelayPeer:
         self._published_epochs: dict[int, int] = {}
         self._slashed_cases: set[tuple[int, int]] = set()
         self._registration_tx: int | None = None
+        self._stop_bucket_prune: Callable[[], None] | None = None
 
     # -- lifecycle --------------------------------------------------------------
 
+    #: How often departed peers' ingress token buckets are swept.
+    BUCKET_PRUNE_INTERVAL = 30.0
+
     def start(self) -> None:
         self.relay.start()
+        self.pipeline.reopen()  # restart after stop() re-enables batching
+        if self._stop_bucket_prune is None:
+            self._stop_bucket_prune = self.simulator.every(
+                self.BUCKET_PRUNE_INTERVAL, self._prune_ingress_buckets
+            )
 
     def stop(self) -> None:
+        # Drain the pending verification batch (resolving its parked
+        # DeferredValidations and cancelling the deadline event) so a
+        # stopped peer neither drops bundles unjudged nor wakes up later
+        # to verify them; in-flight RPCs that arrive after this point are
+        # validated synchronously, never batched.
+        self.pipeline.close()
+        if self._stop_bucket_prune is not None:
+            self._stop_bucket_prune()
+            self._stop_bucket_prune = None
         self.relay.stop()
         self.group.close()
+
+    def _prune_ingress_buckets(self) -> None:
+        """Drop token buckets of peers no longer subscribed to the topic."""
+        alive = self.relay.router.topic_peers(self.relay.pubsub_topic)
+        alive.add(self.peer_id)
+        self.pipeline.ratelimiter.prune(alive, self.simulator.now)
 
     # -- registration (§III-B) ------------------------------------------------------
 
@@ -242,26 +291,49 @@ class WakuRLNRelayPeer:
     def on_spam(self, callback: Callable[[SpamEvidence], None]) -> None:
         self._spam_callbacks.append(callback)
 
-    def _validate(self, sender: str, pubsub_message: PubSubMessage) -> ValidationResult:
-        message = pubsub_message.payload
-        if not isinstance(message, WakuMessage):
-            return ValidationResult.REJECT
-        outcome, evidence = self.validator.validate(
-            message, self.current_epoch(), pubsub_message.msg_id
+    def _validate(
+        self, sender: str, pubsub_message: PubSubMessage
+    ) -> "ValidationResult | DeferredValidation":
+        # No framing pre-check here: the pipeline's stage-1 prefilter
+        # classifies a non-WakuMessage payload as MALFORMED (-> REJECT).
+        result = self.pipeline.validate(
+            sender,
+            pubsub_message.payload,
+            self.current_epoch(),
+            pubsub_message.msg_id,
+            topic=pubsub_message.topic,
+            now=self.simulator.now,
         )
-        if outcome is ValidationOutcome.VALID:
-            return ValidationResult.ACCEPT
-        if outcome is ValidationOutcome.DUPLICATE:
-            return ValidationResult.IGNORE
-        if outcome is ValidationOutcome.SPAM:
-            assert evidence is not None
+        if isinstance(result, PendingVerdict):
+            deferred = DeferredValidation()
+            result.subscribe(
+                lambda verdict: deferred.resolve(self._apply_verdict(verdict))
+            )
+            return deferred
+        if result.retryable:
+            # Shed unjudged (rate limited): un-witness the id from the
+            # router's seen-cache too, so a later copy from any neighbour
+            # is validated once the bucket refills instead of being
+            # suppressed as a duplicate for the whole seen TTL.
+            self.relay.router.forget_seen(pubsub_message.msg_id)
+        return self._apply_verdict(result)
+
+    def _apply_verdict(self, verdict: Verdict) -> ValidationResult:
+        """Run the spam side effects of a pipeline verdict; return the action."""
+        if verdict.outcome is ValidationOutcome.SPAM:
+            assert verdict.evidence is not None
             self.stats.spam_detected += 1
             for callback in list(self._spam_callbacks):
-                callback(evidence)
+                callback(verdict.evidence)
             if self.auto_slash:
-                self._begin_slash(evidence)
-            return ValidationResult.REJECT
-        return ValidationResult.REJECT
+                self._begin_slash(verdict.evidence)
+        return verdict.action
+
+    def _on_rate_limit_overflow(self, sender: str) -> None:
+        """Token-bucket overflow: count it against the forwarder's score."""
+        scoring = self.relay.router.scoring
+        if scoring is not None:
+            scoring.on_behaviour_penalty(sender)
 
     # -- slashing ----------------------------------------------------------------------------------
 
@@ -293,3 +365,7 @@ class WakuRLNRelayPeer:
     @property
     def validator_stats(self):
         return self.validator.stats
+
+    @property
+    def pipeline_stats(self):
+        return self.pipeline.stats

@@ -11,6 +11,7 @@ from repro.gossipsub.messages import (
 )
 from repro.gossipsub.mcache import MessageCache, SeenCache
 from repro.gossipsub.router import (
+    DeferredValidation,
     GossipSubParams,
     GossipSubRouter,
     RouterStats,
@@ -29,6 +30,7 @@ __all__ = [
     "Subscribe",
     "MessageCache",
     "SeenCache",
+    "DeferredValidation",
     "GossipSubParams",
     "GossipSubRouter",
     "RouterStats",

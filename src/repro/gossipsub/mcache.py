@@ -31,6 +31,10 @@ class SeenCache:
     def __contains__(self, msg_id: bytes) -> bool:
         return msg_id in self._entries
 
+    def forget(self, msg_id: bytes) -> None:
+        """Drop an id witnessed for a message that was never actually judged."""
+        self._entries.pop(msg_id, None)
+
     def _expire(self, now: float) -> None:
         cutoff = now - self.ttl
         while self._entries:

@@ -36,6 +36,7 @@ from repro.gossipsub.messages import (
     Subscribe,
 )
 from repro.gossipsub.scoring import PeerScoreKeeper, ScoreParams
+from repro.net.promise import Promise
 from repro.net.simulator import Simulator
 from repro.net.transport import Network
 
@@ -48,8 +49,22 @@ class ValidationResult(Enum):
     REJECT = "reject"
 
 
-#: (from_peer, message) -> ValidationResult
-Validator = Callable[[str, PubSubMessage], ValidationResult]
+class DeferredValidation(Promise[ValidationResult]):
+    """A validator's promise of a verdict delivered later.
+
+    Returned instead of a :class:`ValidationResult` when the verdict
+    depends on work the validator has queued (batched proof verification,
+    §III-F via the ingress pipeline).  The router parks the message and
+    applies the usual accept/ignore/reject handling once :meth:`resolve`
+    fires; duplicates arriving meanwhile are dropped by the seen-cache
+    exactly as for a synchronous verdict.
+    """
+
+    __slots__ = ()
+
+
+#: (from_peer, message) -> ValidationResult (or a DeferredValidation promise)
+Validator = Callable[[str, PubSubMessage], "ValidationResult | DeferredValidation"]
 #: (message) -> None
 DeliveryCallback = Callable[[PubSubMessage], None]
 
@@ -83,6 +98,7 @@ class RouterStats:
     rejected: int = 0
     ignored: int = 0
     validations: int = 0
+    deferred: int = 0
     gossip_sent: int = 0
     iwant_served: int = 0
 
@@ -188,6 +204,17 @@ class GossipSubRouter:
 
     # -- mesh / membership views ---------------------------------------------------------
 
+    def forget_seen(self, msg_id: bytes) -> None:
+        """Un-witness an id whose message was dropped without being judged.
+
+        A validator that sheds load (ingress rate limiting) returns IGNORE
+        without ever checking the content; forgetting the id lets a later
+        copy from any neighbour — or an IHAVE/IWANT re-fetch — be validated
+        once there is budget again, instead of being suppressed as a
+        duplicate for the whole seen-cache TTL.
+        """
+        self._seen.forget(msg_id)
+
     def mesh_peers(self, topic: str) -> set[str]:
         return set(self._mesh.get(topic, set()))
 
@@ -275,6 +302,18 @@ class GossipSubRouter:
             self.stats.duplicates += 1
             return
         result = self._validate(sender, message)
+        if isinstance(result, DeferredValidation):
+            self.stats.deferred += 1
+            result.subscribe(
+                lambda verdict: self._apply_validation(sender, message, verdict)
+            )
+            return
+        self._apply_validation(sender, message, result)
+
+    def _apply_validation(
+        self, sender: str, message: PubSubMessage, result: ValidationResult
+    ) -> None:
+        """Act on a validator verdict (immediately, or when a deferral fires)."""
         if result is ValidationResult.REJECT:
             self.stats.rejected += 1
             if self.scoring:
@@ -310,7 +349,9 @@ class GossipSubRouter:
 
     # -- validation & delivery ------------------------------------------------------------
 
-    def _validate(self, sender: str, message: PubSubMessage) -> ValidationResult:
+    def _validate(
+        self, sender: str, message: PubSubMessage
+    ) -> "ValidationResult | DeferredValidation":
         validator = self._validators.get(message.topic)
         if validator is None:
             return ValidationResult.ACCEPT

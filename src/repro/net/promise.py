@@ -1,0 +1,53 @@
+"""A one-shot promise: a value delivered later, settled exactly once.
+
+Both the GossipSub router (deferred validation verdicts) and the ingress
+pipeline (pending bundle verdicts) need the same tiny primitive: park
+callbacks until a value lands, deliver it to late subscribers immediately,
+and refuse to settle twice.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, TypeVar
+
+from repro.errors import ReproError
+
+T = TypeVar("T")
+
+_UNSET = object()
+
+
+class Promise(Generic[T]):
+    """A single-assignment value with subscriber callbacks."""
+
+    __slots__ = ("_value", "_callbacks")
+
+    def __init__(self) -> None:
+        self._value: object = _UNSET
+        self._callbacks: list[Callable[[T], None]] = []
+
+    def resolve(self, value: T) -> None:
+        """Settle the promise; every subscriber (past and future) sees ``value``."""
+        if self._value is not _UNSET:
+            raise ReproError("promise resolved twice")
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(value)
+
+    def subscribe(self, callback: Callable[[T], None]) -> None:
+        """Run ``callback`` with the value — now if settled, else on resolve."""
+        if self._value is not _UNSET:
+            callback(self._value)  # type: ignore[arg-type]
+        else:
+            self._callbacks.append(callback)
+
+    @property
+    def resolved(self) -> bool:
+        return self._value is not _UNSET
+
+    @property
+    def value(self) -> T:
+        if self._value is _UNSET:
+            raise ReproError("promise not resolved yet")
+        return self._value  # type: ignore[return-value]

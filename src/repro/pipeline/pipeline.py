@@ -1,0 +1,366 @@
+"""The staged ingress validation pipeline (§III-F, production-shaped).
+
+Composes the routing decision of §III-F the way production gossip stacks
+layer ingress validation — cheap gates first, expensive ones batched:
+
+1. :class:`~repro.pipeline.prefilter.Prefilter` — framing/size/epoch-window
+   gates and a per-topic dedup LRU (no field arithmetic);
+2. :class:`~repro.pipeline.ratelimit.IngressRateLimiter` — token buckets
+   per forwarding peer and per topic, feeding GossipSub behaviour
+   penalties on overflow;
+3. the existing :class:`~repro.core.validator.BundleValidator` cheap checks
+   — root recognition and payload binding (§III-F items 2-3);
+4. a shared **proof-verdict cache** keyed by (statement, proof) hash — a
+   re-broadcast of an already-judged bundle (e.g. after root churn or
+   seen-cache expiry) never re-verifies;
+5. :class:`~repro.pipeline.batch_verifier.BatchVerifier` — batched Groth16
+   verification with per-proof fallback, flushing on size-or-deadline;
+6. the nullifier-map rate check (§III-F item 3) once the verdict lands.
+
+Outcomes that exist in the seed's :class:`ValidationOutcome` vocabulary are
+recorded in the wrapped validator's stats, so ``batch_size=1`` (the
+default) is observationally identical to calling
+``BundleValidator.validate`` directly *for traffic below the token-bucket
+rates* — under a flood the buckets deliberately shed load the seed would
+have verified; pipeline-only drops (size, dedup, rate limit) are counted
+in :class:`PipelineStats` alone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.messages import RateLimitProof
+from repro.core.nullifier_log import SpamEvidence
+from repro.core.validator import BundleValidator, ValidationOutcome
+from repro.errors import ProtocolError
+from repro.gossipsub.router import ValidationResult
+from repro.net.promise import Promise
+from repro.net.simulator import Simulator
+from repro.pipeline.batch_verifier import BatchVerifier
+from repro.pipeline.lru import BoundedLRU
+from repro.pipeline.prefilter import Prefilter, PrefilterOutcome
+from repro.pipeline.ratelimit import (
+    BucketSpec,
+    IngressRateLimiter,
+    RateLimitStats,
+    RateLimitVerdict,
+)
+from repro.waku.message import WakuMessage
+from repro.zksnark.prover import RLNProver
+from repro.zksnark.rln_circuit import RLNPublicInputs
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Knobs of the staged pipeline; defaults preserve seed behaviour.
+
+    ``batch_size=1`` verifies synchronously like the seed; larger values
+    defer verdicts until the batch fills or ``batch_deadline`` simulated
+    seconds pass.  The default bucket specs are deliberately generous —
+    honest traffic (one message per member per epoch) never trips them;
+    they exist to bound the *verification* work a misbehaving forwarder
+    can demand.
+    """
+
+    batch_size: int = 1
+    batch_deadline: float = 0.05
+    max_payload_bytes: int = 1 << 20
+    dedup_capacity: int = 4096
+    verdict_cache_capacity: int = 8192
+    peer_bucket: BucketSpec | None = field(
+        default_factory=lambda: BucketSpec(capacity=256.0, refill_per_second=64.0)
+    )
+    topic_bucket: BucketSpec | None = field(
+        default_factory=lambda: BucketSpec(capacity=1024.0, refill_per_second=256.0)
+    )
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ProtocolError("batch_size must be >= 1")
+        if self.batch_deadline <= 0:
+            raise ProtocolError("batch_deadline must be positive")
+        if self.verdict_cache_capacity < 1:
+            raise ProtocolError("verdict_cache_capacity must be >= 1")
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """The pipeline's final word on one bundle."""
+
+    action: ValidationResult
+    outcome: ValidationOutcome | None  # None for pipeline-only drops
+    evidence: SpamEvidence | None = None
+    stage: str = ""
+    cached: bool = False
+    #: The bundle was shed unjudged (rate limiting): callers should also
+    #: un-witness its id from their own dedup layers so a retry can land.
+    retryable: bool = False
+
+
+class PendingVerdict(Promise[Verdict]):
+    """A verdict promised once the batched proof check flushes."""
+
+    __slots__ = ()
+
+    @property
+    def verdict(self) -> Verdict:
+        return self.value
+
+
+class VerdictCache:
+    """Bounded LRU of proof verdicts keyed by (statement, proof) hash."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ProtocolError("verdict cache capacity must be >= 1")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: BoundedLRU[bytes, bool] = BoundedLRU(capacity)
+
+    @staticmethod
+    def key(bundle: RateLimitProof, public: RLNPublicInputs | None = None) -> bytes:
+        """Hash binding the proof to the exact statement it claims.
+
+        ``public`` lets callers that already reassembled the statement
+        avoid a second ``public_inputs()`` derivation on the hot path.
+        """
+        if public is None:
+            public = bundle.public_inputs()
+        return hashlib.sha256(
+            public.serialize() + bundle.proof.serialize()
+        ).digest()
+
+    def get(self, key: bytes) -> bool | None:
+        verdict = self._entries.get(key)  # values are bool, never None
+        if verdict is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return verdict
+
+    def put(self, key: bytes, verdict: bool) -> None:
+        self._entries.put(key, verdict)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+@dataclass
+class PipelineStats:
+    """Stage-level accounting on top of the sub-stage stats objects."""
+
+    admitted: int = 0
+    deferred: int = 0
+    #: The limiter's own stats object; set by the owning pipeline so
+    #: ``rate_limited`` is always the single source of truth.
+    ratelimit: RateLimitStats | None = None
+
+    @property
+    def rate_limited(self) -> int:
+        """Bundles shed by the token buckets (delegated, never drifts)."""
+        return 0 if self.ratelimit is None else self.ratelimit.total_limited()
+
+
+class ValidationPipeline:
+    """Staged ingress validation wrapping one peer's :class:`BundleValidator`."""
+
+    def __init__(
+        self,
+        validator: BundleValidator,
+        prover: RLNProver,
+        simulator: Simulator | None = None,
+        config: PipelineConfig | None = None,
+        *,
+        on_rate_limit_penalty: Callable[[str], None] | None = None,
+    ) -> None:
+        self.validator = validator
+        self.config = config or PipelineConfig()
+        # A verdict resolves against the local epoch captured at submit
+        # time; a deadline spanning epochs would accept bundles the rest of
+        # the network is already rejecting as out-of-window.
+        if self.config.batch_deadline >= validator.config.epoch_length:
+            raise ProtocolError(
+                f"batch_deadline ({self.config.batch_deadline}s) must be "
+                f"shorter than the epoch length ({validator.config.epoch_length}s)"
+            )
+        self.prefilter = Prefilter(
+            max_epoch_gap=validator.config.max_epoch_gap,
+            max_payload_bytes=self.config.max_payload_bytes,
+            dedup_capacity=self.config.dedup_capacity,
+        )
+        self.ratelimiter = IngressRateLimiter(
+            peer_spec=self.config.peer_bucket,
+            topic_spec=self.config.topic_bucket,
+        )
+        self.batch_verifier = BatchVerifier(
+            prover,
+            simulator,
+            batch_size=self.config.batch_size,
+            deadline=self.config.batch_deadline,
+        )
+        self.verdict_cache = VerdictCache(self.config.verdict_cache_capacity)
+        self.stats = PipelineStats(ratelimit=self.ratelimiter.stats)
+        self._on_rate_limit_penalty = on_rate_limit_penalty
+        self._closed = False
+
+    # -- the decision -----------------------------------------------------------
+
+    def validate(
+        self,
+        sender: str,
+        message: object,
+        local_epoch: int,
+        msg_id: bytes,
+        *,
+        topic: str = "",
+        now: float = 0.0,
+    ) -> "Verdict | PendingVerdict":
+        """Run one bundle through the stages; sync verdict or a promise."""
+        # Stage 1 — stateless gates and dedup (no field arithmetic).
+        gate = self.prefilter.check(message, local_epoch, msg_id, topic)
+        if gate is not PrefilterOutcome.PASS:
+            return self._gate_verdict(gate)
+
+        # Stage 2 — token buckets; per-peer overflow feeds a GossipSub
+        # behaviour penalty (a shared topic-bucket denial is aggregate
+        # back-pressure, not the forwarder's fault — no penalty).
+        admission = self.ratelimiter.allow(sender, topic, now)
+        if admission is not RateLimitVerdict.ALLOWED:
+            if (
+                admission is RateLimitVerdict.PEER_LIMITED
+                and self._on_rate_limit_penalty is not None
+            ):
+                self._on_rate_limit_penalty(sender)
+            # The bundle was never judged: un-witness its id so a later
+            # retry (once the bucket refills) is not mistaken for a replay.
+            # ``retryable`` tells the caller to do the same for its own
+            # dedup layer (the router's seen-cache).
+            self.prefilter.dedup.forget(topic, msg_id)
+            # IGNORE, not REJECT — the router must not stack an
+            # invalid-message penalty on content whose validity was never
+            # checked.
+            return Verdict(
+                ValidationResult.IGNORE, None, stage="ratelimit", retryable=True
+            )
+
+        assert isinstance(message, WakuMessage)
+        bundle = message.rate_limit_proof
+        # Stage 3 — root recognition and payload binding (§III-F items 2-3).
+        cheap = self.validator.classify_cheap(message)
+        if cheap is not None:
+            return self._finish(cheap, None, stage="cheap-checks")
+
+        # Stage 4 — verdict cache, then batched verification.
+        public = bundle.public_inputs()
+        key = VerdictCache.key(bundle, public)
+        cached = self.verdict_cache.get(key)
+        if cached is not None:
+            self.validator.stats.proofs_cached += 1
+            return self._after_proof(
+                message, local_epoch, msg_id, cached, stage="verdict-cache", cached=True
+            )
+
+        # A straight re-broadcast of a proof already inside the open batch
+        # window does not reach this point: an identical wire message has
+        # an identical msg_id, which the router's seen-cache and the
+        # stage-1 dedup LRU suppress.  (The same (statement, proof)
+        # rewrapped under a different content_topic does get a fresh
+        # msg_id and becomes a second job in the batch — one redundant
+        # pairing share; its verdict still lands as DUPLICATE via the
+        # nullifier log, so no in-window dedup is maintained for it.)
+        pending = PendingVerdict()
+        self.validator.stats.proofs_verified += 1
+
+        def on_proof_verdict(proof_ok: bool) -> None:
+            self.verdict_cache.put(key, proof_ok)
+            pending.resolve(
+                self._after_proof(message, local_epoch, msg_id, proof_ok, stage="verify")
+            )
+
+        self.batch_verifier.submit(public, bundle.proof, on_proof_verdict)
+        if self._closed:
+            # A closed pipeline (peer shut down) must never re-arm the batch
+            # deadline: late arrivals verify synchronously, like the seed.
+            self.batch_verifier.flush()
+        if pending.resolved:
+            # batch_size=1 (or a size-triggered flush): the verdict landed
+            # synchronously — indistinguishable from the seed path.
+            return pending.verdict
+        self.stats.deferred += 1
+        return pending
+
+    def flush(self) -> None:
+        """Force any pending batch through (test convenience)."""
+        self.batch_verifier.flush()
+
+    def close(self) -> None:
+        """Drain the pending batch and pin the pipeline to synchronous mode.
+
+        Called from the owning peer's ``stop()``: the parked verdicts are
+        delivered now, and any message that still trickles in afterwards
+        (the network keeps delivering in-flight RPCs) is verified
+        immediately instead of re-arming the batch deadline — a stopped
+        peer never wakes up later to do crypto.
+        """
+        self._closed = True
+        self.batch_verifier.flush()
+
+    def reopen(self) -> None:
+        """Re-enable batching after :meth:`close` (peer restart)."""
+        self._closed = False
+
+    # -- helpers ----------------------------------------------------------------
+
+    _GATE_OUTCOMES: dict[PrefilterOutcome, ValidationOutcome] = {
+        PrefilterOutcome.MISSING_PROOF: ValidationOutcome.MISSING_PROOF,
+        PrefilterOutcome.STALE_EPOCH: ValidationOutcome.INVALID_EPOCH_GAP,
+    }
+
+    def _gate_verdict(self, gate: PrefilterOutcome) -> Verdict:
+        outcome = self._GATE_OUTCOMES.get(gate)
+        if outcome is not None:
+            # Gates that exist in the seed vocabulary keep its accounting.
+            return self._finish(outcome, None, stage="prefilter")
+        action = (
+            ValidationResult.IGNORE
+            if gate is PrefilterOutcome.DUPLICATE_ID
+            else ValidationResult.REJECT
+        )
+        return Verdict(action, None, stage="prefilter")
+
+    def _after_proof(
+        self,
+        message: WakuMessage,
+        local_epoch: int,
+        msg_id: bytes,
+        proof_ok: bool,
+        *,
+        stage: str,
+        cached: bool = False,
+    ) -> Verdict:
+        outcome, evidence = self.validator.classify_after_proof(
+            message, local_epoch, msg_id, proof_ok
+        )
+        return self._finish(outcome, evidence, stage=stage, cached=cached)
+
+    def _finish(
+        self,
+        outcome: ValidationOutcome,
+        evidence: SpamEvidence | None,
+        *,
+        stage: str,
+        cached: bool = False,
+    ) -> Verdict:
+        self.validator.stats.record(outcome)
+        if outcome is ValidationOutcome.VALID:
+            self.stats.admitted += 1
+            action = ValidationResult.ACCEPT
+        elif outcome is ValidationOutcome.DUPLICATE:
+            action = ValidationResult.IGNORE
+        else:
+            action = ValidationResult.REJECT
+        return Verdict(action, outcome, evidence, stage=stage, cached=cached)

@@ -1,0 +1,78 @@
+"""Test and benchmark support: the shared §III-E bundle-minting flow.
+
+The unit-test fixtures (``tests/conftest.py``) and the experiment
+harnesses (``benchmarks/``) both need a registered member that can mint
+honest proof bundles; keeping the registration transaction and the
+prove-and-assemble sequence here means the bundle shape exists in
+exactly one place.
+"""
+
+from __future__ import annotations
+
+from repro.chain.blockchain import Blockchain
+from repro.chain.rln_contract import RLNMembershipContract
+from repro.core.epoch import external_nullifier
+from repro.core.membership import GroupManager
+from repro.core.messages import RateLimitProof
+from repro.crypto.identity import Identity
+from repro.waku.message import WakuMessage
+from repro.zksnark.prover import RLNProver
+from repro.zksnark.rln_circuit import RLNPublicInputs, RLNWitness
+
+#: The paper's worked example epoch (§III-D), reused wherever a test or
+#: benchmark needs an arbitrary-but-realistic epoch number.
+RLN_TEST_EPOCH = 54_827_003
+
+
+def register_member(
+    chain: Blockchain,
+    contract: RLNMembershipContract,
+    secret: int,
+    *,
+    funder: str = "funder",
+) -> Identity:
+    """Register a fresh identity with the membership contract (§III-B).
+
+    Sends the deposit-attached registration transaction from ``funder``
+    and mines it so group managers syncing the contract see the member.
+    """
+    member = Identity.from_secret(secret)
+    chain.send_transaction(
+        funder,
+        contract.address,
+        "register",
+        {"pk": member.pk.value},
+        value=contract.deposit,
+    )
+    chain.mine_block()
+    return member
+
+
+def mint_bundle(
+    member: Identity,
+    payload: bytes,
+    epoch: int,
+    manager: GroupManager,
+    prover: RLNProver,
+    *,
+    content_topic: str = "t",
+) -> WakuMessage:
+    """Publish-side §III-E: derive the statement, prove it, attach the bundle."""
+    public = RLNPublicInputs.for_message(
+        member, payload, external_nullifier(epoch), manager.root
+    )
+    witness = RLNWitness(
+        identity=member, merkle_proof=manager.merkle_proof(member.pk)
+    )
+    proof = prover.prove(public, witness)
+    bundle = RateLimitProof(
+        share_x=public.x,
+        share_y=public.y,
+        internal_nullifier=public.internal_nullifier,
+        epoch=epoch,
+        root=manager.root,
+        proof=proof,
+    )
+    return WakuMessage(
+        payload=payload, content_topic=content_topic, rate_limit_proof=bundle
+    )

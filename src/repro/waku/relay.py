@@ -19,6 +19,7 @@ from typing import Callable
 
 from repro.gossipsub.messages import PubSubMessage
 from repro.gossipsub.router import (
+    DeferredValidation,
     GossipSubParams,
     GossipSubRouter,
     ValidationResult,
@@ -89,9 +90,16 @@ class WakuRelay:
             self._content_callbacks.setdefault(content_topic, []).append(callback)
 
     def set_validator(
-        self, validator: Callable[[str, PubSubMessage], ValidationResult]
+        self,
+        validator: Callable[
+            [str, PubSubMessage], "ValidationResult | DeferredValidation"
+        ],
     ) -> None:
-        """Install a pubsub validator (WAKU-RLN-RELAY's hook, §III-F)."""
+        """Install a pubsub validator (WAKU-RLN-RELAY's hook, §III-F).
+
+        The validator may return a :class:`DeferredValidation` to park the
+        message until a batched verification verdict arrives.
+        """
         self.router.set_validator(self.pubsub_topic, validator)
 
     # -- internals ----------------------------------------------------------------

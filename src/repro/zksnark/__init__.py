@@ -10,12 +10,17 @@ from repro.zksnark.rln_circuit import (
     synthesize,
 )
 from repro.zksnark.groth16 import (
+    BATCH_FIXED_PAIRINGS,
+    PAIRINGS_PER_VERIFY,
     PROOF_SIZE,
     Groth16,
+    PairingCounter,
     Proof,
     ProvingKey,
     VerifyingKey,
+    batch_pairing_check,
     setup,
+    single_pairing_check,
 )
 from repro.zksnark.prover import (
     Groth16Prover,
@@ -41,12 +46,17 @@ __all__ = [
     "RLNWitness",
     "circuit_shape",
     "synthesize",
+    "BATCH_FIXED_PAIRINGS",
+    "PAIRINGS_PER_VERIFY",
     "PROOF_SIZE",
     "Groth16",
+    "PairingCounter",
     "Proof",
     "ProvingKey",
     "VerifyingKey",
+    "batch_pairing_check",
     "setup",
+    "single_pairing_check",
     "Groth16Prover",
     "NativeProver",
     "RLNProver",

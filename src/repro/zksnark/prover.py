@@ -21,14 +21,21 @@ provides a per-(depth, backend) singleton for that purpose.
 
 from __future__ import annotations
 
-import hmac
 import secrets
 import time
-from typing import Protocol
+from typing import Protocol, Sequence
 
 from repro.crypto.identity import derive_commitment, derive_internal_nullifier, derive_slope
 from repro.errors import ProvingError
-from repro.zksnark.groth16 import Groth16, Proof, _pairing_tag, setup
+from repro.zksnark.groth16 import (
+    Groth16,
+    PairingCounter,
+    Proof,
+    _pairing_tag,
+    batch_pairing_check,
+    setup,
+    single_pairing_check,
+)
 from repro.zksnark.rln_circuit import RLNPublicInputs, RLNWitness
 
 
@@ -36,12 +43,16 @@ class RLNProver(Protocol):
     """Interface every proof backend implements."""
 
     depth: int
+    pairing_counter: PairingCounter
 
     def prove(self, public: RLNPublicInputs, witness: RLNWitness) -> Proof:
         """Produce a proof, raising :class:`ProvingError` on a false statement."""
 
     def verify(self, public: RLNPublicInputs, proof: Proof) -> bool:
         """Check a proof against a statement."""
+
+    def verify_batch(self, jobs: Sequence[tuple[RLNPublicInputs, Proof]]) -> bool:
+        """Check N proofs with one RLC multi-pairing; True iff all valid."""
 
 
 class Groth16Prover:
@@ -56,6 +67,13 @@ class Groth16Prover:
 
     def verify(self, public: RLNPublicInputs, proof: Proof) -> bool:
         return self._inner.verify(public, proof)
+
+    def verify_batch(self, jobs: Sequence[tuple[RLNPublicInputs, Proof]]) -> bool:
+        return self._inner.verify_batch(jobs)
+
+    @property
+    def pairing_counter(self) -> PairingCounter:
+        return self._inner.pairing_counter
 
     @property
     def last_prove_seconds(self) -> float:
@@ -76,6 +94,7 @@ class NativeProver:
         del verifying_key
         self.last_prove_seconds = 0.0
         self.last_verify_seconds = 0.0
+        self.pairing_counter = PairingCounter()
 
     def prove(self, public: RLNPublicInputs, witness: RLNWitness) -> Proof:
         start = time.perf_counter()
@@ -89,8 +108,13 @@ class NativeProver:
 
     def verify(self, public: RLNPublicInputs, proof: Proof) -> bool:
         start = time.perf_counter()
-        expected = _pairing_tag(self._params, public.serialize(), proof.a, proof.b)
-        ok = hmac.compare_digest(expected, proof.c)
+        ok = single_pairing_check(self._params, public, proof, self.pairing_counter)
+        self.last_verify_seconds = time.perf_counter() - start
+        return ok
+
+    def verify_batch(self, jobs: Sequence[tuple[RLNPublicInputs, Proof]]) -> bool:
+        start = time.perf_counter()
+        ok = batch_pairing_check(self._params, jobs, self.pairing_counter)
         self.last_verify_seconds = time.perf_counter() - start
         return ok
 

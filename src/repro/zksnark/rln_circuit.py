@@ -58,7 +58,13 @@ class RLNPublicInputs:
         return [getattr(self, name) for name in PUBLIC_INPUT_ORDER]
 
     def serialize(self) -> bytes:
-        return b"".join(value.to_bytes() for value in self.as_list())
+        # Memoized: the ingress pipeline serializes the same statement for
+        # the verdict-cache key and again inside the pairing check.
+        cached = self.__dict__.get("_serialized")
+        if cached is None:
+            cached = b"".join(value.to_bytes() for value in self.as_list())
+            object.__setattr__(self, "_serialized", cached)
+        return cached
 
     @classmethod
     def for_message(

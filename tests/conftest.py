@@ -8,19 +8,29 @@ also how a real deployment works: one setup per network).
 from __future__ import annotations
 
 import random
+from types import SimpleNamespace
 
 import pytest
 
+from repro import testing
 from repro.chain.blockchain import Blockchain, WEI
 from repro.chain.rln_contract import RLNMembershipContract
 from repro.core.config import RLNConfig
+from repro.core.membership import GroupManager
+from repro.core.validator import BundleValidator
 from repro.crypto.identity import Identity
 from repro.crypto.merkle import MerkleTree
+from repro.waku.message import WakuMessage
 from repro.zksnark.prover import Groth16Prover, NativeProver
 
 #: Small depth used by most protocol-level tests (fast, still exercises
 #: multi-level paths).
 TEST_DEPTH = 8
+
+#: The paper's worked example epoch (§III-D), reused wherever a test needs
+#: an arbitrary-but-realistic epoch number (re-exported from the shared
+#: test-support module so benchmarks use the same value).
+RLN_TEST_EPOCH = testing.RLN_TEST_EPOCH
 
 
 @pytest.fixture(scope="session")
@@ -72,3 +82,56 @@ def funded_accounts(chain: Blockchain) -> list[str]:
     for account in accounts:
         chain.fund(account, 100 * WEI)
     return accounts
+
+
+@pytest.fixture()
+def rln_env(native_prover: NativeProver, test_config: RLNConfig) -> SimpleNamespace:
+    """A registered member plus everything needed to mint/validate bundles.
+
+    Shared by the validator- and pipeline-level tests: a chain with the
+    membership contract, a synced group manager, one registered identity,
+    and factories for further validators (isolated nullifier logs),
+    members, and proof-carrying messages.
+    """
+    chain = Blockchain()
+    contract = RLNMembershipContract(deposit=1 * WEI)
+    chain.deploy(contract)
+    chain.fund("funder", 500 * WEI)
+    manager = GroupManager(
+        chain, contract, tree_depth=TEST_DEPTH, root_window=test_config.root_window
+    )
+
+    def register(secret: int) -> Identity:
+        return testing.register_member(chain, contract, secret)
+
+    def make_validator() -> BundleValidator:
+        return BundleValidator(test_config, native_prover, manager)
+
+    def make_message(
+        payload: bytes,
+        *,
+        epoch: int = RLN_TEST_EPOCH,
+        member: Identity | None = None,
+        content_topic: str = "t",
+    ) -> WakuMessage:
+        return testing.mint_bundle(
+            member or identity,
+            payload,
+            epoch,
+            manager,
+            native_prover,
+            content_topic=content_topic,
+        )
+
+    identity = register(0x777)
+    return SimpleNamespace(
+        chain=chain,
+        contract=contract,
+        manager=manager,
+        config=test_config,
+        prover=native_prover,
+        identity=identity,
+        register=register,
+        make_validator=make_validator,
+        make_message=make_message,
+    )

@@ -143,3 +143,36 @@ class TestProofFormat:
     def test_malformed_elements_rejected(self):
         with pytest.raises(SnarkError):
             Proof(a=b"\x00" * 31, b=b"\x00" * 64, c=b"\x00" * 32)
+
+
+class TestBatchVerify:
+    def test_batched_32_fewer_pairings_than_32_individual_verifies(
+        self, system, statement
+    ):
+        from repro.zksnark.groth16 import BATCH_FIXED_PAIRINGS, PAIRINGS_PER_VERIFY
+
+        public, witness = statement
+        # Groth16 proofs are randomised: 32 distinct proofs of the statement.
+        jobs = [(public, system.prove(public, witness)) for _ in range(32)]
+        counter = system.pairing_counter
+
+        counter.reset()
+        for job_public, job_proof in jobs:
+            assert system.verify(job_public, job_proof)
+        individual = counter.evaluations
+        assert individual == 32 * PAIRINGS_PER_VERIFY
+
+        counter.reset()
+        assert system.verify_batch(jobs)
+        batched = counter.evaluations
+        assert batched == 32 + BATCH_FIXED_PAIRINGS
+        assert batched < individual
+
+    def test_batch_rejects_if_any_member_forged(self, system, statement):
+        public, witness = statement
+        jobs = [(public, system.prove(public, witness)) for _ in range(7)]
+        jobs.append((public, Proof(a=bytes(32), b=bytes(64), c=bytes(32))))
+        assert not system.verify_batch(jobs)
+
+    def test_empty_batch_accepts(self, system):
+        assert system.verify_batch([])

@@ -157,3 +157,128 @@ class TestEpochs:
         )
         epochs = {p.current_epoch() for p in dep.peers.values()}
         assert len(epochs) > 1  # drift visible at 1 s epochs
+
+
+class TestIngressRateLimit:
+    def _deployment(self):
+        from repro.pipeline.pipeline import PipelineConfig
+        from repro.pipeline.ratelimit import BucketSpec
+
+        config = RLNConfig(epoch_length=30.0, max_epoch_gap=2, tree_depth=DEPTH)
+        dep = RLNDeployment.create(
+            peer_count=4,
+            degree=2,
+            seed=17,
+            config=config,
+            pipeline_config=PipelineConfig(
+                peer_bucket=BucketSpec(capacity=1.0, refill_per_second=1.0),
+                topic_bucket=None,
+            ),
+        )
+        dep.register_all()
+        dep.form_meshes(4.0)
+        return dep
+
+    def test_rate_limited_message_is_retryable_through_router(self):
+        # A shed bundle must not be poisoned in the router's seen-cache:
+        # after the bucket refills, a re-delivered copy validates and lands.
+        from repro.gossipsub.messages import PubSubMessage
+
+        dep = self._deployment()
+        sender, receiver = dep.peer("peer-000"), dep.peer("peer-001")
+        message = sender._build_message(b"throttled", "t", sender.current_epoch())
+        pubsub = PubSubMessage(
+            msg_id=message.message_id(receiver.relay.pubsub_topic),
+            topic=receiver.relay.pubsub_topic,
+            payload=message,
+        )
+        # Drain the receiver's bucket for this forwarder (capacity 1).
+        receiver.pipeline.ratelimiter.allow(
+            "peer-000", receiver.relay.pubsub_topic, dep.simulator.now
+        )
+        receiver.relay.router._handle_message("peer-000", pubsub)
+        assert message.payload not in [m.payload for m in receiver.received]
+        # The unjudged id was forgotten in the router's seen-cache too.
+        assert pubsub.msg_id not in receiver.relay.router._seen
+
+        dep.run(2.0)  # refill
+        receiver.relay.router._handle_message("peer-000", pubsub)
+        assert message.payload in [m.payload for m in receiver.received]
+
+    def test_departed_peer_buckets_pruned(self):
+        dep = self._deployment()
+        receiver = dep.peer("peer-002")
+        limiter = receiver.pipeline.ratelimiter
+        # A forwarder the router has never heard of leaves a bucket behind.
+        limiter.allow("ghost-peer", receiver.relay.pubsub_topic, dep.simulator.now)
+        assert limiter.peer_level("ghost-peer", dep.simulator.now) is not None
+        dep.run(receiver.BUCKET_PRUNE_INTERVAL + 1.0)
+        assert limiter.peer_level("ghost-peer", dep.simulator.now) is None
+        # Live mesh neighbours' buckets survive the sweep.
+        alive = receiver.relay.router.topic_peers(receiver.relay.pubsub_topic)
+        for neighbour in alive:
+            limiter.allow(neighbour, receiver.relay.pubsub_topic, dep.simulator.now)
+        dep.run(receiver.BUCKET_PRUNE_INTERVAL + 1.0)
+        for neighbour in alive:
+            assert limiter.peer_level(neighbour, dep.simulator.now) is not None
+
+
+class TestBatchedShutdown:
+    def test_stop_drains_pending_batch(self):
+        # A bundle parked behind a partial batch must be judged (and its
+        # DeferredValidation resolved) during stop(), not dropped or
+        # verified by a deadline event firing after shutdown.
+        from repro.gossipsub.messages import PubSubMessage
+        from repro.pipeline.pipeline import PipelineConfig
+
+        config = RLNConfig(epoch_length=30.0, max_epoch_gap=2, tree_depth=DEPTH)
+        dep = RLNDeployment.create(
+            peer_count=4,
+            degree=2,
+            seed=19,
+            config=config,
+            pipeline_config=PipelineConfig(batch_size=4, batch_deadline=0.2),
+        )
+        dep.register_all()
+        dep.form_meshes(4.0)
+        sender, receiver = dep.peer("peer-000"), dep.peer("peer-001")
+        message = sender._build_message(b"parked", "t", sender.current_epoch())
+        pubsub = PubSubMessage(
+            msg_id=message.message_id(receiver.relay.pubsub_topic),
+            topic=receiver.relay.pubsub_topic,
+            payload=message,
+        )
+        receiver.relay.router._handle_message("peer-000", pubsub)
+        assert receiver.pipeline.batch_verifier.pending_jobs == 1
+        assert message.payload not in [m.payload for m in receiver.received]
+        receiver.stop()
+        assert receiver.pipeline.batch_verifier.pending_jobs == 0
+        assert message.payload in [m.payload for m in receiver.received]
+
+        # An RPC already in flight when stop() ran still arrives; it must
+        # be judged synchronously, never parked behind a re-armed deadline.
+        # (Authored by another member — a second bundle from `sender` in
+        # the same epoch would be judged SPAM, not delivered.)
+        author = dep.peer("peer-002")
+        late = author._build_message(b"late", "t", author.current_epoch())
+        late_pubsub = PubSubMessage(
+            msg_id=late.message_id(receiver.relay.pubsub_topic),
+            topic=receiver.relay.pubsub_topic,
+            payload=late,
+        )
+        receiver.relay.router._handle_message("peer-000", late_pubsub)
+        assert receiver.pipeline.batch_verifier.pending_jobs == 0
+        assert late.payload in [m.payload for m in receiver.received]
+
+        # Restarting the peer re-enables batching: a new bundle parks
+        # behind the batch again instead of verifying synchronously.
+        receiver.start()
+        author3 = dep.peer("peer-003")
+        fresh = author3._build_message(b"fresh", "t", author3.current_epoch())
+        fresh_pubsub = PubSubMessage(
+            msg_id=fresh.message_id(receiver.relay.pubsub_topic),
+            topic=receiver.relay.pubsub_topic,
+            payload=fresh,
+        )
+        receiver.relay.router._handle_message("peer-000", fresh_pubsub)
+        assert receiver.pipeline.batch_verifier.pending_jobs == 1

@@ -6,7 +6,8 @@ import pytest
 
 from repro.crypto.hashing import message_id
 from repro.gossipsub.messages import RPC, Graft, PubSubMessage
-from repro.gossipsub.router import GossipSubRouter, ValidationResult
+from repro.errors import ReproError
+from repro.gossipsub.router import DeferredValidation, GossipSubRouter, ValidationResult
 from repro.gossipsub.scoring import ScoreParams
 from repro.net.latency import ConstantLatency
 from repro.net.simulator import Simulator
@@ -124,3 +125,54 @@ class TestMeshRepair:
         routers["peer-000"].publish(TOPIC, payload, message_id(payload, TOPIC))
         sim.run(sim.now + 2.0)
         assert sum(r.stats.delivered for r in routers.values()) == 4
+
+
+class TestDeferredValidation:
+    def test_multiple_subscribers_all_fire(self):
+        deferred = DeferredValidation()
+        seen = []
+        deferred.subscribe(lambda r: seen.append(("a", r)))
+        deferred.subscribe(lambda r: seen.append(("b", r)))
+        deferred.resolve(ValidationResult.ACCEPT)
+        assert seen == [
+            ("a", ValidationResult.ACCEPT),
+            ("b", ValidationResult.ACCEPT),
+        ]
+        # Late subscribers observe the settled result immediately.
+        deferred.subscribe(lambda r: seen.append(("c", r)))
+        assert seen[-1] == ("c", ValidationResult.ACCEPT)
+
+    def test_double_resolve_raises(self):
+        deferred = DeferredValidation()
+        deferred.resolve(ValidationResult.ACCEPT)
+        with pytest.raises(ReproError):
+            deferred.resolve(ValidationResult.REJECT)
+
+
+class TestForgetSeen:
+    def test_forgotten_id_is_revalidated_on_redelivery(self):
+        # A load-shedding validator IGNOREs a message it never judged; once
+        # the id is forgotten, a later copy goes through validation again
+        # instead of being suppressed as a duplicate for the seen TTL.
+        sim, network, routers = build()
+        victim = routers["peer-001"]
+        calls = []
+
+        def shedding_validator(sender, message):
+            calls.append(message.msg_id)
+            return ValidationResult.IGNORE
+
+        victim.set_validator(TOPIC, shedding_validator)
+        payload = b"shed me"
+        mid = message_id(payload, TOPIC)
+        rpc = RPC(messages=(PubSubMessage(msg_id=mid, topic=TOPIC, payload=payload),))
+        network.send("peer-000", "peer-001", rpc)
+        sim.run(sim.now + 1.0)
+        network.send("peer-000", "peer-001", rpc)
+        sim.run(sim.now + 1.0)
+        assert len(calls) == 1  # second copy suppressed by the seen-cache
+
+        victim.forget_seen(mid)
+        network.send("peer-000", "peer-001", rpc)
+        sim.run(sim.now + 1.0)
+        assert len(calls) == 2
