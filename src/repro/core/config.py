@@ -45,6 +45,13 @@ class RLNConfig:
     max_epoch_gap: int = 1
     #: Identity-commitment tree depth (§IV analyses depth 20).
     tree_depth: int = DEFAULT_DEPTH
+    #: Tree backend: "flat" (the seed's monolithic tree) or "sharded"
+    #: (the repro.treesync forest — identical root, per-shard storage).
+    tree_backend: str = "flat"
+    #: Depth of one shard subtree (members per shard = 2^shard_depth).
+    #: ``None`` resolves to min(10, tree_depth - 1); also used by the flat
+    #: backend to tag announcements with shard ids.
+    shard_depth: int | None = None
     #: Membership deposit in wei (the paper's ``v`` Ether).
     deposit: int = 1 * WEI
     #: Proof backend: "native" (fast, statement-equivalent) or "groth16"
@@ -64,6 +71,16 @@ class RLNConfig:
             raise ProtocolError("max_epoch_gap must be >= 1")
         if not 1 <= self.tree_depth <= 32:
             raise ProtocolError("tree_depth must be in [1, 32]")
+        if self.tree_backend not in ("flat", "sharded"):
+            raise ProtocolError(
+                f"tree_backend must be 'flat' or 'sharded', got {self.tree_backend!r}"
+            )
+        if self.shard_depth is not None and not 1 <= self.shard_depth < self.tree_depth:
+            raise ProtocolError(
+                f"shard_depth must be in [1, tree_depth - 1], got {self.shard_depth}"
+            )
+        if self.tree_backend == "sharded" and self.tree_depth < 2:
+            raise ProtocolError("sharded backend needs tree_depth >= 2")
         if self.deposit <= 0:
             raise ProtocolError("deposit must be positive")
         if self.root_window < 1:

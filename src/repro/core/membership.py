@@ -15,6 +15,15 @@ The manager also implements the hybrid architecture of §IV-A: it produces
 :class:`~repro.crypto.optimized_merkle.TreeUpdate` announcements that
 storage-limited peers running :class:`OptimizedMerkleView` consume instead
 of holding the tree.
+
+Two tree backends exist behind the ``tree_backend`` switch: ``"flat"``
+(the seed's monolithic :class:`~repro.crypto.merkle.MerkleTree`, default)
+and ``"sharded"`` (the :class:`~repro.treesync.forest.ShardedMerkleForest`,
+same root, per-shard storage).  Either way every announcement is tagged
+with its shard id and sequence number as a
+:class:`~repro.treesync.messages.ShardUpdate`, so shard-scoped peers
+(:class:`~repro.treesync.sync.ShardSyncManager`) can consume the O(1)
+digest for foreign shards.
 """
 
 from __future__ import annotations
@@ -28,6 +37,13 @@ from repro.crypto.field import FieldElement, ZERO
 from repro.crypto.merkle import MerkleProof, MerkleTree
 from repro.crypto.optimized_merkle import TreeUpdate
 from repro.errors import NotRegistered, SyncError
+from repro.treesync.forest import (
+    ShardedMerkleForest,
+    default_shard_depth,
+    make_membership_tree,
+    membership_tree_from_leaves,
+)
+from repro.treesync.messages import ShardUpdate, TreeCheckpoint
 
 
 class GroupManager:
@@ -40,16 +56,43 @@ class GroupManager:
         *,
         tree_depth: int = 20,
         root_window: int = 5,
+        tree_backend: str = "flat",
+        shard_depth: int | None = None,
     ) -> None:
         self.chain = chain
         self.contract = contract
-        self.tree = MerkleTree(depth=tree_depth)
+        self.tree_backend = tree_backend
+        #: Shard geometry used to *tag* announcements; the flat backend tags
+        #: too (reading the shard root off its own level-``shard_depth`` node),
+        #: so shard-scoped consumers work against either backend.
+        self.shard_depth = self._resolve_shard_depth(tree_depth, shard_depth)
+        self.tree = make_membership_tree(
+            tree_depth, backend=tree_backend, shard_depth=self.shard_depth
+        )
         self._recent_roots: deque[FieldElement] = deque(maxlen=root_window)
         self._recent_roots.append(self.tree.root)
         self._index_of_pk: dict[int, int] = {}
         self._update_listeners: list[Callable[[TreeUpdate], None]] = []
+        self._shard_listeners: list[Callable[[ShardUpdate], None]] = []
+        #: Contiguous membership-event sequence number (0 = genesis); the
+        #: shard-sync protocol orders announcements by it.
+        self.event_seq = 0
         self._bootstrap()
         self._unsubscribe = chain.subscribe(self._on_event)
+
+    @staticmethod
+    def _resolve_shard_depth(tree_depth: int, shard_depth: int | None) -> int:
+        if shard_depth is None:
+            if tree_depth == 1:
+                # A depth-1 tree has no level to split at: every leaf is
+                # its own "shard" (tagging degenerates, nothing breaks).
+                return 0
+            shard_depth = default_shard_depth(tree_depth)
+        if not 1 <= shard_depth < tree_depth:
+            raise SyncError(
+                f"shard_depth must be in [1, {tree_depth - 1}], got {shard_depth}"
+            )
+        return shard_depth
 
     def close(self) -> None:
         self._unsubscribe()
@@ -65,10 +108,20 @@ class GroupManager:
         leaves = [FieldElement(pk) for pk in self.contract.commitment_list()]
         if not leaves:
             return
-        self.tree = MerkleTree.from_leaves(leaves, depth=self.tree.depth)
+        self.tree = membership_tree_from_leaves(
+            leaves,
+            self.tree.depth,
+            backend=self.tree_backend,
+            shard_depth=self.shard_depth,
+        )
         for index, leaf in enumerate(leaves):
             if leaf != ZERO:
                 self._index_of_pk[leaf.value] = index
+        # Every slot was one registration event, and every zeroed slot was
+        # additionally one deletion event (the contract only ever appends,
+        # so a zero slot means registered-then-removed) — a bootstrapped
+        # manager must agree on seq with peers that watched from genesis.
+        self.event_seq = len(leaves) + sum(1 for leaf in leaves if leaf == ZERO)
         self._recent_roots.clear()
         self._recent_roots.append(self.tree.root)
 
@@ -88,22 +141,22 @@ class GroupManager:
                 f"registration event index {index} skips local frontier "
                 f"{self.tree.leaf_count}"
             )
-        announcement = self._announcement_for(index, pk)
+        path = self.tree.proof(index)
         applied_index = self.tree.append(pk)
         assert applied_index == index
         self._index_of_pk[pk.value] = index
         self._push_root()
-        self._notify(announcement)
+        self._notify(index, pk, path)
 
     def _delete_at(self, index: int) -> None:
         leaf = self.tree.leaf(index)
         if leaf == ZERO:
             return  # already deleted
-        announcement = self._announcement_for(index, ZERO)
+        path = self.tree.proof(index)
         self.tree.delete(index)
         self._index_of_pk.pop(leaf.value, None)
         self._push_root()
-        self._notify(announcement)
+        self._notify(index, ZERO, path)
 
     def _push_root(self) -> None:
         self._recent_roots.append(self.tree.root)
@@ -137,26 +190,88 @@ class GroupManager:
     def merkle_proof_at(self, index: int) -> MerkleProof:
         return self.tree.proof(index)
 
+    # -- shard geometry ---------------------------------------------------------------
+
+    def shard_of(self, index: int) -> int:
+        return index >> self.shard_depth
+
+    def shard_root(self, shard_id: int) -> FieldElement:
+        """Root of one shard, regardless of backend.
+
+        The sharded forest stores it; the flat tree reads it straight off
+        its own node at level ``shard_depth`` — no extra hashing either way.
+        """
+        if isinstance(self.tree, ShardedMerkleForest):
+            return self.tree.shard_root(shard_id)
+        return self.tree.subtree_root(self.shard_depth, shard_id)
+
+    def checkpoint(self) -> TreeCheckpoint:
+        """Snapshot of every non-empty shard root (the store-archived state)."""
+        if isinstance(self.tree, ShardedMerkleForest):
+            roots = self.tree.shard_roots()
+        else:
+            shard_count = (
+                self.tree.leaf_count + (1 << self.shard_depth) - 1
+            ) >> self.shard_depth
+            roots = {
+                sid: self.tree.subtree_root(self.shard_depth, sid)
+                for sid in range(shard_count)
+            }
+        return TreeCheckpoint(
+            seq=self.event_seq,
+            depth=self.tree.depth,
+            shard_depth=self.shard_depth,
+            leaf_count=self.tree.leaf_count,
+            shard_roots=tuple(sorted(roots.items())),
+            global_root=self.tree.root,
+        )
+
     # -- hybrid architecture: serving storage-limited peers (§IV-A) -----------------
 
     def on_update(self, listener: Callable[[TreeUpdate], None]) -> None:
         """Subscribe to TreeUpdate announcements (for OptimizedMerkleView)."""
         self._update_listeners.append(listener)
 
-    def _announcement_for(self, index: int, new_leaf: FieldElement) -> TreeUpdate:
-        """Pre-change path packaged for O(log N)-storage peers."""
-        return TreeUpdate(
-            index=index, new_leaf=new_leaf, path=self.tree.proof(index)
-        )
+    def on_shard_update(self, listener: Callable[[ShardUpdate], None]) -> None:
+        """Subscribe to shard-tagged announcements (for ShardSyncManager)."""
+        self._shard_listeners.append(listener)
 
-    def _notify(self, announcement: TreeUpdate) -> None:
+    def _notify(
+        self, index: int, new_leaf: FieldElement, path: MerkleProof
+    ) -> None:
+        """Package one applied event for both announcement channels.
+
+        ``path`` is the pre-change authentication path (captured before the
+        tree mutated); the update carries the post-change root so consumers
+        can reject forged announcements
+        (:class:`~repro.errors.InconsistentTreeUpdate`).
+        """
+        self.event_seq += 1
+        update = TreeUpdate(
+            index=index, new_leaf=new_leaf, path=path, new_root=self.tree.root
+        )
         for listener in list(self._update_listeners):
-            listener(announcement)
+            listener(update)
+        if self._shard_listeners:
+            shard_id = self.shard_of(index)
+            announcement = ShardUpdate(
+                seq=self.event_seq,
+                shard_id=shard_id,
+                update=update,
+                new_shard_root=self.shard_root(shard_id),
+                new_global_root=self.tree.root,
+            )
+            for listener in list(self._shard_listeners):
+                listener(announcement)
 
     # -- sync verification (§III-C) ----------------------------------------------------
 
     def assert_synced(self) -> None:
-        """Raise :class:`SyncError` if the local tree diverged from the contract."""
+        """Raise :class:`SyncError` if the local tree diverged from the contract.
+
+        Always rebuilds *flat*: the forest root is pinned equal to the flat
+        root, so this doubles as a cross-backend consistency check.
+        """
         rebuilt = MerkleTree.from_leaves(
             [FieldElement(pk) for pk in self.contract.commitment_list()],
             depth=self.tree.depth,

@@ -127,6 +127,8 @@ class WakuRLNRelayPeer:
             contract,
             tree_depth=self.config.tree_depth,
             root_window=self.config.root_window,
+            tree_backend=self.config.tree_backend,
+            shard_depth=self.config.shard_depth,
         )
         self.validator = BundleValidator(self.config, self.prover, self.group)
         self.pipeline = ValidationPipeline(
@@ -357,6 +359,14 @@ class WakuRLNRelayPeer:
         self.simulator.schedule(self.chain.block_interval * 1.05, pump)
 
     # -- convenience ---------------------------------------------------------------------------------
+
+    def proof_checker(self):
+        """Shared proof checker for this peer's store/filter/lightpush roles.
+
+        Backed by the relay pipeline's verdict cache, so service-path
+        re-validation and relay validation share pairing work both ways.
+        """
+        return self.pipeline.shared_checker()
 
     @property
     def router_stats(self):

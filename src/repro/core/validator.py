@@ -21,14 +21,27 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import Protocol
 
 from repro.core.config import RLNConfig
 from repro.core.epoch import epoch_gap
-from repro.core.membership import GroupManager
 from repro.core.messages import RateLimitProof
 from repro.core.nullifier_log import NullifierLog, NullifierOutcome, SpamEvidence
+from repro.crypto.field import FieldElement
 from repro.waku.message import WakuMessage
 from repro.zksnark.prover import RLNProver
+
+
+class RootAcceptor(Protocol):
+    """Whatever supplies the §III-F item-2 root-recognition check.
+
+    Satisfied by :class:`~repro.core.membership.GroupManager` (full tree,
+    flat or sharded) and by
+    :class:`~repro.treesync.sync.ShardSyncManager` (shard-scoped peers),
+    so a routing peer can validate without holding the whole forest.
+    """
+
+    def is_acceptable_root(self, root: FieldElement) -> bool: ...
 
 
 class ValidationOutcome(Enum):
@@ -75,7 +88,7 @@ class BundleValidator:
         self,
         config: RLNConfig,
         prover: RLNProver,
-        group: GroupManager,
+        group: RootAcceptor,
     ) -> None:
         self.config = config
         self.prover = prover

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Iterator, Sequence
+from typing import Callable, Iterator, Sequence
 
 from repro.crypto.field import FIELD_BYTES, FieldElement, ZERO
 from repro.crypto.poseidon import poseidon2
@@ -30,16 +30,24 @@ from repro.errors import InvalidAuthPath, MerkleError, TreeFullError
 #: Depth used by the paper's storage analysis (§IV: depth-20 tree, 67 MB).
 DEFAULT_DEPTH = 20
 
+#: Two-to-one compression function type for tree nodes.
+NodeHasher = Callable[[FieldElement, FieldElement], FieldElement]
 
-@lru_cache(maxsize=8)
-def zero_hashes(depth: int) -> tuple[FieldElement, ...]:
+
+@lru_cache(maxsize=32)
+def zero_hashes(
+    depth: int, hasher: NodeHasher | None = None
+) -> tuple[FieldElement, ...]:
     """Hashes of all-zero subtrees: level 0 is the zero leaf.
 
     ``zero_hashes(d)[i]`` is the root of a fully-empty subtree of height i.
+    A non-default ``hasher`` yields the ladder for trees built over that
+    hash (accounting-only trees in the benchmarks inject a cheap one).
     """
+    hash2 = hasher or poseidon2
     out = [ZERO]
     for _ in range(depth):
-        out.append(poseidon2(out[-1], out[-1]))
+        out.append(hash2(out[-1], out[-1]))
     return tuple(out)
 
 
@@ -94,16 +102,21 @@ class MerkleTree:
     True
     """
 
-    def __init__(self, depth: int = DEFAULT_DEPTH) -> None:
+    def __init__(self, depth: int = DEFAULT_DEPTH, *, hasher: NodeHasher | None = None) -> None:
         if not 1 <= depth <= 32:
             raise MerkleError(f"depth must be in [1, 32], got {depth}")
         self.depth = depth
         self.capacity = 1 << depth
         self._nodes: dict[tuple[int, int], FieldElement] = {}
-        self._zeros = zero_hashes(depth)
+        self._hasher = hasher
+        self._hash: NodeHasher = hasher or poseidon2
+        self._zeros = zero_hashes(depth, hasher)
         self._next_index = 0
         #: Indices freed by deletion, reused before extending the frontier.
         self._free: list[int] = []
+        #: Two-to-one compressions performed (the per-event work experiment
+        #: E12 compares across tree backends).
+        self.hash_ops = 0
 
     # -- node access ---------------------------------------------------------
 
@@ -197,11 +210,34 @@ class MerkleTree:
             sibling = self._get(level, sibling_index)
             node = self._get(level, node_index)
             if node_index & 1:
-                parent = poseidon2(sibling, node)
+                parent = self._hash(sibling, node)
             else:
-                parent = poseidon2(node, sibling)
+                parent = self._hash(node, sibling)
+            self.hash_ops += 1
             node_index >>= 1
             self._set(level + 1, node_index, parent)
+
+    def write_leaf(self, index: int, leaf: FieldElement) -> None:
+        """Low-level slot write: allocate through ``index``, then set it.
+
+        The sharded forest addresses shard-local slots directly with this:
+        slots skipped over by the allocation stay empty (and reusable), and
+        writing ``ZERO`` clears an occupied slot.  Bookkeeping ends up
+        exactly as the equivalent ``append``/``insert``/``delete`` sequence
+        would have left it.
+        """
+        self._check_index(index)
+        if index >= self._next_index:
+            self._free.extend(range(self._next_index, index))
+            self._next_index = index + 1
+            currently_free = False
+        else:
+            currently_free = self._get(0, index) == ZERO
+        if leaf == ZERO and not currently_free:
+            self._free.append(index)
+        elif leaf != ZERO and currently_free:
+            self._free.remove(index)
+        self._update_leaf(index, leaf)
 
     # -- proofs ---------------------------------------------------------------
 
@@ -221,6 +257,20 @@ class MerkleTree:
             siblings=tuple(siblings),
             path_bits=tuple(bits),
         )
+
+    def subtree_root(self, level: int, index: int) -> FieldElement:
+        """Root of the subtree of height ``level`` over leaves
+        ``[index * 2^level, (index + 1) * 2^level)``.
+
+        At ``level = shard_depth`` this is exactly the shard root the
+        sharded forest commits into its top tree, so a flat tree can tag
+        membership announcements with shard roots without re-hashing.
+        """
+        if not 0 <= level <= self.depth:
+            raise MerkleError(f"level {level} out of range for depth {self.depth}")
+        if not 0 <= index < (1 << (self.depth - level)):
+            raise MerkleError(f"node index {index} out of range at level {level}")
+        return self._get(level, index)
 
     def find(self, leaf: FieldElement) -> int:
         """Index of the first occurrence of ``leaf``; raises if absent."""
@@ -257,19 +307,48 @@ class MerkleTree:
             raise MerkleError(f"leaf index {index} out of range for depth {self.depth}")
 
     @classmethod
-    def from_leaves(cls, leaves: Sequence[FieldElement], depth: int = DEFAULT_DEPTH) -> "MerkleTree":
-        """Build a tree containing ``leaves`` in order (zero leaves skipped)."""
-        tree = cls(depth=depth)
+    def from_leaves(
+        cls,
+        leaves: Sequence[FieldElement],
+        depth: int = DEFAULT_DEPTH,
+        *,
+        hasher: NodeHasher | None = None,
+    ) -> "MerkleTree":
+        """Build a tree containing ``leaves`` in order (zero leaves skipped).
+
+        Builds bottom-up, level by level: ~2N compressions for N leaves
+        instead of the N·depth an insert-at-a-time replay costs, which is
+        what makes bootstrapping a peer from a large contract list (and the
+        million-member rows of experiment E12) tractable.
+        """
+        tree = cls(depth=depth, hasher=hasher)
         if len(leaves) > tree.capacity:
             raise TreeFullError(f"{len(leaves)} leaves exceed capacity {tree.capacity}")
+        current: list[FieldElement] = []
         for index, leaf in enumerate(leaves):
             # Allocate strictly sequentially so index alignment with the
             # contract's ordered list is preserved even across deleted slots.
-            tree._next_index = index + 1
             if leaf == ZERO:
                 tree._free.append(index)
             else:
-                tree._update_leaf(index, leaf)
+                tree._nodes[(0, index)] = leaf
+            current.append(leaf)
+        tree._next_index = len(leaves)
+        width = len(current)
+        for level in range(depth):
+            if width == 0:
+                break
+            width = (width + 1) // 2
+            above: list[FieldElement] = []
+            zero = tree._zeros[level]
+            for i in range(width):
+                left = current[2 * i]
+                right = current[2 * i + 1] if 2 * i + 1 < len(current) else zero
+                parent = tree._hash(left, right)
+                tree.hash_ops += 1
+                above.append(parent)
+                tree._set(level + 1, i, parent)
+            current = above
         return tree
 
 

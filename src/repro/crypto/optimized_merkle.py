@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from repro.crypto.field import FIELD_BYTES, FieldElement
 from repro.crypto.merkle import MerkleProof
 from repro.crypto.poseidon import poseidon2
-from repro.errors import MerkleError, SyncError
+from repro.errors import InconsistentTreeUpdate, MerkleError, SyncError
 
 
 @dataclass(frozen=True)
@@ -36,15 +36,20 @@ class TreeUpdate:
     """Announcement of one leaf change, broadcast alongside contract events.
 
     ``path`` is the changed leaf's authentication path *before* the change
-    (its ``leaf`` field holds the old leaf value).
+    (its ``leaf`` field holds the old leaf value).  ``new_root`` is the
+    announcer's claimed post-change root; consumers recompute it locally
+    and reject announcements whose claim disagrees (``None`` on legacy
+    announcements skips the cross-check).
     """
 
     index: int
     new_leaf: FieldElement
     path: MerkleProof
+    new_root: FieldElement | None = None
 
     def byte_size(self) -> int:
-        return 8 + FIELD_BYTES + self.path.byte_size()
+        root_bytes = FIELD_BYTES if self.new_root is not None else 0
+        return 8 + FIELD_BYTES + root_bytes + self.path.byte_size()
 
 
 def divergence_level(a: int, b: int, depth: int) -> int:
@@ -106,12 +111,20 @@ class OptimizedMerkleView:
                 "update announcement is inconsistent with the tracked root; "
                 "the local view is stale"
             )
+        nodes = _replay(update, self.depth)
+        # The recomputed root is authoritative; an announcement claiming a
+        # different one is forged or corrupt and must not move the view
+        # (previously the recomputed value was trusted without this check).
+        if update.new_root is not None and nodes[self.depth] != update.new_root:
+            raise InconsistentTreeUpdate(
+                "announced new root does not match the root recomputed from "
+                "the update's own path"
+            )
         if update.index == self.index:
             # Our own leaf changed (e.g. we were slashed): track the new value.
             self.leaf = update.new_leaf
-            self.root = _replay(update, self.depth)[self.depth]
+            self.root = nodes[self.depth]
             return
-        nodes = _replay(update, self.depth)
         level = divergence_level(update.index, self.index, self.depth)
         # One level below the merge point, the changed leaf's ancestor is our
         # sibling.

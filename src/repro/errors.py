@@ -160,3 +160,13 @@ class RegistrationError(ProtocolError):
 
 class SyncError(ProtocolError):
     """Local membership tree diverged from the contract state."""
+
+
+class InconsistentTreeUpdate(SyncError):
+    """A tree-update announcement's root disagrees with the locally
+    recomputed root: the announcer lied or the local view is corrupt."""
+
+
+class TreeSyncGap(SyncError):
+    """Membership events were missed; the consumer must fall back to
+    checkpoint+delta sync (e.g. via the Waku store) before continuing."""

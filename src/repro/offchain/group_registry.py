@@ -39,6 +39,7 @@ from repro.crypto.identity import derive_commitment
 from repro.crypto.merkle import MerkleTree
 from repro.errors import ProtocolError
 from repro.offchain.kademlia import KademliaNode
+from repro.treesync.forest import ShardedMerkleForest, make_membership_tree
 
 
 @dataclass(frozen=True)
@@ -102,11 +103,15 @@ class DistributedGroupManager:
         *,
         group_id: str = "waku-rln-relay/default",
         tree_depth: int = 20,
+        tree_backend: str = "flat",
+        shard_depth: int | None = None,
     ) -> None:
         self.peer_id = peer_id
         self.dht = dht
         self.group_key = b"group:" + group_id.encode("utf-8")
         self.tree_depth = tree_depth
+        self.tree_backend = tree_backend
+        self.shard_depth = shard_depth
         self.snapshot = EMPTY_SNAPSHOT
         self._lamport = itertools.count(1)
 
@@ -181,13 +186,19 @@ class DistributedGroupManager:
 
     # -- tree construction ---------------------------------------------------------
 
-    def build_tree(self) -> MerkleTree:
+    def build_tree(self) -> "MerkleTree | ShardedMerkleForest":
         """Deterministic tree every converged replica agrees on.
 
         Registration order is (lamport, pk); removed members' leaves are
-        zeroed in place, exactly like the contract's ordered list.
+        zeroed in place, exactly like the contract's ordered list.  The
+        backend switch changes storage layout only — both backends produce
+        the identical root, so replicas on different backends still agree.
         """
-        tree = MerkleTree(depth=self.tree_depth)
+        tree = make_membership_tree(
+            self.tree_depth,
+            backend=self.tree_backend,
+            shard_depth=self.shard_depth,
+        )
         removed = self.snapshot.removed_pks()
         seen: set[int] = set()
         for record in self.snapshot.ordered_registrations():

@@ -11,6 +11,7 @@ The production-shaped front end of the §III-F routing decision — see
 import repro.core  # noqa: F401  (import-order guard, see above)
 
 from repro.pipeline.batch_verifier import (
+    AdaptiveBatchPolicy,
     BatchVerifier,
     BatchVerifierStats,
     VerificationJob,
@@ -21,8 +22,8 @@ from repro.pipeline.pipeline import (
     PipelineStats,
     ValidationPipeline,
     Verdict,
-    VerdictCache,
 )
+from repro.pipeline.verdicts import SharedProofChecker, VerdictCache
 from repro.pipeline.prefilter import (
     DedupLRU,
     Prefilter,
@@ -38,8 +39,10 @@ from repro.pipeline.ratelimit import (
 )
 
 __all__ = [
+    "AdaptiveBatchPolicy",
     "BatchVerifier",
     "BatchVerifierStats",
+    "SharedProofChecker",
     "VerificationJob",
     "PendingVerdict",
     "PipelineConfig",

@@ -28,19 +28,16 @@ in :class:`PipelineStats` alone.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.core.messages import RateLimitProof
 from repro.core.nullifier_log import SpamEvidence
 from repro.core.validator import BundleValidator, ValidationOutcome
 from repro.errors import ProtocolError
 from repro.gossipsub.router import ValidationResult
 from repro.net.promise import Promise
 from repro.net.simulator import Simulator
-from repro.pipeline.batch_verifier import BatchVerifier
-from repro.pipeline.lru import BoundedLRU
+from repro.pipeline.batch_verifier import AdaptiveBatchPolicy, BatchVerifier
 from repro.pipeline.prefilter import Prefilter, PrefilterOutcome
 from repro.pipeline.ratelimit import (
     BucketSpec,
@@ -48,9 +45,9 @@ from repro.pipeline.ratelimit import (
     RateLimitStats,
     RateLimitVerdict,
 )
+from repro.pipeline.verdicts import SharedProofChecker, VerdictCache
 from repro.waku.message import WakuMessage
 from repro.zksnark.prover import RLNProver
-from repro.zksnark.rln_circuit import RLNPublicInputs
 
 
 @dataclass(frozen=True)
@@ -76,6 +73,17 @@ class PipelineConfig:
     topic_bucket: BucketSpec | None = field(
         default_factory=lambda: BucketSpec(capacity=1024.0, refill_per_second=256.0)
     )
+    #: When True, the batch verifier sizes flushes from an EWMA of the
+    #: bundle arrival rate between ``min_batch_size`` and
+    #: ``max_batch_size`` (small under light load for latency, large under
+    #: floods for throughput); ``batch_size`` then only seeds the verifier
+    #: before the first arrivals.  Off (the default) preserves the pinned
+    #: static-``batch_size`` behaviour exactly.
+    adaptive_batching: bool = False
+    min_batch_size: int = 1
+    max_batch_size: int = 64
+    #: EWMA smoothing factor for inter-arrival times (0 < alpha <= 1).
+    arrival_smoothing: float = 0.2
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -84,6 +92,22 @@ class PipelineConfig:
             raise ProtocolError("batch_deadline must be positive")
         if self.verdict_cache_capacity < 1:
             raise ProtocolError("verdict_cache_capacity must be >= 1")
+        if self.adaptive_batching:
+            if not 1 <= self.min_batch_size <= self.max_batch_size:
+                raise ProtocolError(
+                    "need 1 <= min_batch_size <= max_batch_size for adaptation"
+                )
+            if not 0.0 < self.arrival_smoothing <= 1.0:
+                raise ProtocolError("arrival_smoothing must be in (0, 1]")
+
+    def adaptive_policy(self) -> AdaptiveBatchPolicy | None:
+        if not self.adaptive_batching:
+            return None
+        return AdaptiveBatchPolicy(
+            min_batch_size=self.min_batch_size,
+            max_batch_size=self.max_batch_size,
+            alpha=self.arrival_smoothing,
+        )
 
 
 @dataclass(frozen=True)
@@ -108,45 +132,6 @@ class PendingVerdict(Promise[Verdict]):
     @property
     def verdict(self) -> Verdict:
         return self.value
-
-
-class VerdictCache:
-    """Bounded LRU of proof verdicts keyed by (statement, proof) hash."""
-
-    def __init__(self, capacity: int) -> None:
-        if capacity < 1:
-            raise ProtocolError("verdict cache capacity must be >= 1")
-        self.capacity = capacity
-        self.hits = 0
-        self.misses = 0
-        self._entries: BoundedLRU[bytes, bool] = BoundedLRU(capacity)
-
-    @staticmethod
-    def key(bundle: RateLimitProof, public: RLNPublicInputs | None = None) -> bytes:
-        """Hash binding the proof to the exact statement it claims.
-
-        ``public`` lets callers that already reassembled the statement
-        avoid a second ``public_inputs()`` derivation on the hot path.
-        """
-        if public is None:
-            public = bundle.public_inputs()
-        return hashlib.sha256(
-            public.serialize() + bundle.proof.serialize()
-        ).digest()
-
-    def get(self, key: bytes) -> bool | None:
-        verdict = self._entries.get(key)  # values are bool, never None
-        if verdict is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return verdict
-
-    def put(self, key: bytes, verdict: bool) -> None:
-        self._entries.put(key, verdict)
-
-    def __len__(self) -> int:
-        return len(self._entries)
 
 
 @dataclass
@@ -201,8 +186,10 @@ class ValidationPipeline:
             simulator,
             batch_size=self.config.batch_size,
             deadline=self.config.batch_deadline,
+            adaptive=self.config.adaptive_policy(),
         )
         self.verdict_cache = VerdictCache(self.config.verdict_cache_capacity)
+        self._prover = prover
         self.stats = PipelineStats(ratelimit=self.ratelimiter.stats)
         self._on_rate_limit_penalty = on_rate_limit_penalty
         self._closed = False
@@ -312,6 +299,15 @@ class ValidationPipeline:
     def reopen(self) -> None:
         """Re-enable batching after :meth:`close` (peer restart)."""
         self._closed = False
+
+    def shared_checker(self) -> SharedProofChecker:
+        """A proof checker over *this* pipeline's verdict cache.
+
+        Hand it to the peer's store/filter/lightpush nodes so
+        re-validation on those paths shares verdicts with the relay path
+        in both directions (ROADMAP: verdict-cache sharing).
+        """
+        return SharedProofChecker(self._prover, self.verdict_cache)
 
     # -- helpers ----------------------------------------------------------------
 

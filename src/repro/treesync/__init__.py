@@ -1,0 +1,45 @@
+"""Sharded identity-tree subsystem for million-member groups.
+
+The seed replays every membership event onto one monolithic Merkle tree;
+this package partitions the identity tree into fixed-capacity shards under
+a small top tree, so a peer materialises only its own shard plus the shard
+roots.  See ``README.md``'s architecture section for the shard layout,
+sync flow, and witness splicing.
+"""
+
+from repro.treesync.forest import (
+    DEFAULT_SHARD_DEPTH,
+    ShardedMerkleForest,
+    TopTree,
+    make_membership_tree,
+    membership_tree_from_leaves,
+)
+from repro.treesync.messages import (
+    CHECKPOINT_TOPIC,
+    DIGEST_TOPIC,
+    ShardRootDigest,
+    ShardUpdate,
+    TreeCheckpoint,
+    shard_topic,
+)
+from repro.treesync.sync import ShardSyncManager, TreeSyncPublisher, TreeSyncStats
+from repro.treesync.witness import WitnessProvider, splice
+
+__all__ = [
+    "CHECKPOINT_TOPIC",
+    "DEFAULT_SHARD_DEPTH",
+    "DIGEST_TOPIC",
+    "ShardRootDigest",
+    "ShardSyncManager",
+    "ShardUpdate",
+    "ShardedMerkleForest",
+    "TopTree",
+    "TreeCheckpoint",
+    "TreeSyncPublisher",
+    "TreeSyncStats",
+    "WitnessProvider",
+    "make_membership_tree",
+    "membership_tree_from_leaves",
+    "shard_topic",
+    "splice",
+]

@@ -1,0 +1,230 @@
+"""Shard-scoped tree-sync announcements and their wire encoding.
+
+Three artefacts flow between peers (§III-C, sharded):
+
+* :class:`ShardUpdate` — one membership event, tagged with its shard:
+  carries the full pre-change path (for members of that shard and for
+  flat/optimized-view consumers) plus the post-change shard and global
+  roots;
+* :class:`ShardRootDigest` — the O(1) projection of a :class:`ShardUpdate`
+  that peers *outside* the shard consume: no path, just the new roots.
+  This is the object whose small size and zero hash cost experiment E12
+  measures;
+* :class:`TreeCheckpoint` — a periodic snapshot of every non-empty shard
+  root, archived by Waku store nodes so a peer that missed events can
+  restore foreign-shard state without replaying history.
+
+Each type serialises to bytes so it can travel as a
+:class:`~repro.waku.message.WakuMessage` payload on the tree-sync content
+topics and be archived/queried like any other Waku traffic.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.crypto.field import FIELD_BYTES, FieldElement
+from repro.crypto.merkle import MerkleProof
+from repro.crypto.optimized_merkle import TreeUpdate
+from repro.errors import ProtocolError
+
+#: Content topic carrying full :class:`ShardUpdate`s for one shard.
+def shard_topic(shard_id: int) -> str:
+    return f"/treesync/1/shard-{shard_id}/proto"
+
+
+#: Content topic carrying every event's :class:`ShardRootDigest`.
+DIGEST_TOPIC = "/treesync/1/roots/proto"
+
+#: Content topic carrying periodic :class:`TreeCheckpoint`s.
+CHECKPOINT_TOPIC = "/treesync/1/checkpoint/proto"
+
+
+def _encode_field(value: FieldElement) -> bytes:
+    return value.to_bytes()
+
+
+def _decode_field(data: bytes, offset: int) -> tuple[FieldElement, int]:
+    end = offset + FIELD_BYTES
+    if end > len(data):
+        raise ProtocolError("truncated field element")
+    return FieldElement(int.from_bytes(data[offset:end], "big")), end
+
+
+def _encode_proof(proof: MerkleProof) -> bytes:
+    head = struct.pack(">QH", proof.index, proof.depth)
+    return head + proof.leaf.to_bytes() + b"".join(s.to_bytes() for s in proof.siblings)
+
+
+def _decode_proof(data: bytes, offset: int) -> tuple[MerkleProof, int]:
+    index, depth = struct.unpack_from(">QH", data, offset)
+    offset += 10
+    leaf, offset = _decode_field(data, offset)
+    siblings = []
+    for _ in range(depth):
+        sibling, offset = _decode_field(data, offset)
+        siblings.append(sibling)
+    bits = tuple((index >> level) & 1 for level in range(depth))
+    return (
+        MerkleProof(leaf=leaf, index=index, siblings=tuple(siblings), path_bits=bits),
+        offset,
+    )
+
+
+@dataclass(frozen=True)
+class ShardRootDigest:
+    """What a foreign-shard peer needs from one membership event: the roots."""
+
+    seq: int
+    shard_id: int
+    new_shard_root: FieldElement
+    new_global_root: FieldElement
+
+    def byte_size(self) -> int:
+        return 8 + 4 + 2 * FIELD_BYTES
+
+    def to_bytes(self) -> bytes:
+        return (
+            struct.pack(">QI", self.seq, self.shard_id)
+            + self.new_shard_root.to_bytes()
+            + self.new_global_root.to_bytes()
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ShardRootDigest":
+        try:
+            seq, shard_id = struct.unpack_from(">QI", data, 0)
+            shard_root, offset = _decode_field(data, 12)
+            global_root, _ = _decode_field(data, offset)
+        except (struct.error, IndexError) as exc:
+            raise ProtocolError(f"malformed ShardRootDigest: {exc}") from exc
+        return cls(
+            seq=seq,
+            shard_id=shard_id,
+            new_shard_root=shard_root,
+            new_global_root=global_root,
+        )
+
+
+@dataclass(frozen=True)
+class ShardUpdate:
+    """One membership event scoped to its shard.
+
+    ``update`` carries the *global*-index pre-change path (the flat-tree
+    splice), so legacy :class:`~repro.crypto.optimized_merkle.OptimizedMerkleView`
+    consumers can apply it unchanged; shard members only replay the leaf
+    write and cross-check ``new_shard_root``.
+    """
+
+    seq: int
+    shard_id: int
+    update: TreeUpdate
+    new_shard_root: FieldElement
+    new_global_root: FieldElement
+
+    def digest(self) -> ShardRootDigest:
+        """The O(1) foreign-shard projection of this event."""
+        return ShardRootDigest(
+            seq=self.seq,
+            shard_id=self.shard_id,
+            new_shard_root=self.new_shard_root,
+            new_global_root=self.new_global_root,
+        )
+
+    def byte_size(self) -> int:
+        # Mirrors to_bytes() exactly: (seq, shard, index) header, the new
+        # leaf, both roots (the global root is stored once — it doubles as
+        # the TreeUpdate's new_root on decode), and the encoded path.
+        return 20 + 3 * FIELD_BYTES + 10 + (1 + self.update.path.depth) * FIELD_BYTES
+
+    def to_bytes(self) -> bytes:
+        return (
+            struct.pack(">QIQ", self.seq, self.shard_id, self.update.index)
+            + self.update.new_leaf.to_bytes()
+            + self.new_shard_root.to_bytes()
+            + self.new_global_root.to_bytes()
+            + _encode_proof(self.update.path)
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ShardUpdate":
+        try:
+            seq, shard_id, index = struct.unpack_from(">QIQ", data, 0)
+            offset = 20
+            new_leaf, offset = _decode_field(data, offset)
+            shard_root, offset = _decode_field(data, offset)
+            global_root, offset = _decode_field(data, offset)
+            path, _ = _decode_proof(data, offset)
+        except (struct.error, IndexError) as exc:
+            raise ProtocolError(f"malformed ShardUpdate: {exc}") from exc
+        return cls(
+            seq=seq,
+            shard_id=shard_id,
+            update=TreeUpdate(
+                index=index, new_leaf=new_leaf, path=path, new_root=global_root
+            ),
+            new_shard_root=shard_root,
+            new_global_root=global_root,
+        )
+
+
+@dataclass(frozen=True)
+class TreeCheckpoint:
+    """Snapshot of the forest's commitment state at event ``seq``.
+
+    Lists only non-empty shards; absent shards are the empty-shard
+    constant.  A consumer restores foreign-shard state from this and
+    replays only the deltas after ``seq``.
+    """
+
+    seq: int
+    depth: int
+    shard_depth: int
+    leaf_count: int
+    shard_roots: tuple[tuple[int, FieldElement], ...]
+    global_root: FieldElement
+
+    def byte_size(self) -> int:
+        return 8 + 1 + 1 + 8 + 4 + len(self.shard_roots) * (4 + FIELD_BYTES) + FIELD_BYTES
+
+    def to_bytes(self) -> bytes:
+        out = [
+            struct.pack(
+                ">QBBQI",
+                self.seq,
+                self.depth,
+                self.shard_depth,
+                self.leaf_count,
+                len(self.shard_roots),
+            )
+        ]
+        for shard_id, root in self.shard_roots:
+            out.append(struct.pack(">I", shard_id) + root.to_bytes())
+        out.append(self.global_root.to_bytes())
+        return b"".join(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "TreeCheckpoint":
+        try:
+            seq, depth, shard_depth, leaf_count, count = struct.unpack_from(
+                ">QBBQI", data, 0
+            )
+            offset = 22
+            roots = []
+            for _ in range(count):
+                (shard_id,) = struct.unpack_from(">I", data, offset)
+                offset += 4
+                root, offset = _decode_field(data, offset)
+                roots.append((shard_id, root))
+            global_root, _ = _decode_field(data, offset)
+        except (struct.error, IndexError) as exc:
+            raise ProtocolError(f"malformed TreeCheckpoint: {exc}") from exc
+        return cls(
+            seq=seq,
+            depth=depth,
+            shard_depth=shard_depth,
+            leaf_count=leaf_count,
+            shard_roots=tuple(roots),
+            global_root=global_root,
+        )

@@ -1,0 +1,493 @@
+"""Shard-scoped tree sync: materialize your shard, commit to the rest.
+
+§III-C requires publishing peers to stay in sync with the group; at a
+million members the seed's answer — replay every event onto a full local
+tree — costs every peer O(group) storage and ``depth`` compressions per
+event.  :class:`ShardSyncManager` is the sharded answer:
+
+* the peer fully materialises only its *home shard* (a depth-``shard_depth``
+  subtree) plus the small top tree over shard roots;
+* a home-shard event applies the leaf write locally (``shard_depth``
+  compressions) and cross-checks the announced shard root;
+* a **foreign**-shard event is consumed as a
+  :class:`~repro.treesync.messages.ShardRootDigest` — recording the new
+  shard root is O(1), *zero* compressions; the top tree is rehashed once
+  per :meth:`commit` (at validation time), not once per event.  This
+  amortisation is the ≥10× per-event saving experiment E12 measures;
+* events carry a contiguous sequence number.  A gap raises
+  :class:`~repro.errors.TreeSyncGap`, and :meth:`sync_from_store` recovers
+  by fetching the latest :class:`TreeCheckpoint` plus per-shard deltas
+  from a Waku store node (13/WAKU2-STORE) — the checkpoint+delta fallback
+  for missed epochs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.crypto.field import FieldElement
+from repro.crypto.merkle import MerkleProof, MerkleTree, NodeHasher, zero_hashes
+from repro.crypto.poseidon import poseidon2
+from repro.errors import (
+    InconsistentTreeUpdate,
+    MerkleError,
+    ProtocolError,
+    SyncError,
+    TreeSyncGap,
+)
+from repro.treesync.forest import DEFAULT_SHARD_DEPTH, TopTree
+from repro.treesync.messages import (
+    CHECKPOINT_TOPIC,
+    DIGEST_TOPIC,
+    ShardRootDigest,
+    ShardUpdate,
+    TreeCheckpoint,
+    shard_topic,
+)
+from repro.treesync.witness import splice
+from repro.waku.message import WakuMessage
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.waku.store import StoreClient
+
+
+@dataclass
+class TreeSyncStats:
+    """Per-peer sync accounting (experiment E12's measurement surface)."""
+
+    home_events: int = 0
+    foreign_events: int = 0
+    commits: int = 0
+    checkpoints_restored: int = 0
+    bytes_consumed: int = 0
+
+
+class ShardSyncManager:
+    """One peer's shard-scoped view of the identity forest."""
+
+    def __init__(
+        self,
+        home_shard: int,
+        *,
+        depth: int = 20,
+        shard_depth: int = DEFAULT_SHARD_DEPTH,
+        root_window: int = 5,
+        hasher: NodeHasher | None = None,
+    ) -> None:
+        if not 1 <= shard_depth < depth:
+            raise MerkleError(
+                f"shard_depth must be in [1, {depth - 1}], got {shard_depth}"
+            )
+        self.depth = depth
+        self.shard_depth = shard_depth
+        self.top_depth = depth - shard_depth
+        if not 0 <= home_shard < (1 << self.top_depth):
+            raise MerkleError(f"home shard {home_shard} out of range")
+        self.home_shard = home_shard
+        self.shard_capacity = 1 << shard_depth
+        self._hash: NodeHasher = hasher or poseidon2
+        self._zeros = zero_hashes(depth, hasher)
+        self.empty_shard_root = self._zeros[shard_depth]
+        #: Fully materialised home shard.
+        self.shard = MerkleTree(depth=shard_depth, hasher=hasher)
+        #: Top tree over shard roots (the only cross-shard state held).
+        self.top = TopTree(self.top_depth, self._zeros[shard_depth:], self._hash)
+        #: Shard roots recorded since the last commit — O(1) per event.
+        self._pending: dict[int, FieldElement] = {}
+        #: Last applied global event sequence number (0 = genesis).
+        self.seq = 0
+        self._announced_root: FieldElement | None = None
+        self._recent_roots: deque[FieldElement] = deque(maxlen=root_window)
+        self._recent_roots.append(self.top.root)
+        self.stats = TreeSyncStats()
+
+    # -- event consumption -----------------------------------------------------
+
+    def apply(self, item: "ShardUpdate | ShardRootDigest") -> None:
+        """Fold one announced membership event into the local view.
+
+        Events must arrive in contiguous ``seq`` order; replays are ignored
+        and a gap raises :class:`TreeSyncGap` (fall back to
+        :meth:`sync_from_store`).  Home-shard events need the full
+        :class:`ShardUpdate`; foreign ones are O(1) root recordings.
+        """
+        if item.seq <= self.seq:
+            return  # already applied (store replay overlapped with live feed)
+        if item.seq != self.seq + 1:
+            raise TreeSyncGap(
+                f"event seq {item.seq} skips local frontier {self.seq}; "
+                "checkpoint+delta sync required"
+            )
+        if not 0 <= item.shard_id < (1 << self.top_depth):
+            # Rejected before anything is recorded: a forged id must not
+            # plant an entry commit() cannot fold.
+            raise SyncError(f"shard id {item.shard_id} out of range")
+        if item.shard_id == self.home_shard:
+            if not isinstance(item, ShardUpdate):
+                raise SyncError(
+                    "home-shard events need the full ShardUpdate, not a digest"
+                )
+            self._write_home(item)
+            self._pending[self.home_shard] = self.shard.root
+        else:
+            digest = item.digest() if isinstance(item, ShardUpdate) else item
+            # A genuine membership event always changes its shard's root
+            # (one leaf changed), so a digest re-announcing the root we
+            # already hold is a forged no-op trying to squat this seq.
+            current = self._pending.get(digest.shard_id)
+            if current is None:
+                current = self.top.leaf(digest.shard_id)
+            if digest.new_shard_root == current:
+                raise InconsistentTreeUpdate(
+                    "digest announces no shard-root change; every membership "
+                    "event changes its shard's root"
+                )
+            self._pending[digest.shard_id] = digest.new_shard_root
+            self.stats.foreign_events += 1
+        self.stats.bytes_consumed += item.byte_size()
+        self.seq = item.seq
+        self._announced_root = item.new_global_root
+
+    def _write_home(self, item: ShardUpdate) -> None:
+        """Replay one home-shard leaf write and cross-check the shard root."""
+        if item.update.index >> self.shard_depth != self.home_shard:
+            raise SyncError(
+                f"update index {item.update.index} is not in home shard "
+                f"{self.home_shard}"
+            )
+        local = item.update.index & (self.shard_capacity - 1)
+        old_leaf = self.shard.leaf(local)
+        if old_leaf == item.update.new_leaf:
+            # A genuine event always changes the leaf (register: zero ->
+            # pk, removal: pk -> zero); a no-op write is a forged attempt
+            # to squat the sequence number without tripping a root check.
+            raise InconsistentTreeUpdate(
+                "update does not change the leaf; every membership event "
+                "changes its slot"
+            )
+        self.shard.write_leaf(local, item.update.new_leaf)
+        if self.shard.root != item.new_shard_root:
+            # Roll the write back before rejecting: a forged announcement
+            # must not poison the shard (the genuine update for this seq
+            # still has to apply cleanly).
+            self.shard.write_leaf(local, old_leaf)
+            raise InconsistentTreeUpdate(
+                "announced shard root does not match the locally replayed shard"
+            )
+        self.stats.home_events += 1
+
+    # -- committing ------------------------------------------------------------
+
+    @property
+    def dirty_shards(self) -> int:
+        """Shard roots recorded but not yet folded into the top tree."""
+        return len(self._pending)
+
+    def commit(self) -> FieldElement:
+        """Fold pending shard roots into the top tree; return the new root.
+
+        Called at validation/witness time, not per event — k events across
+        d distinct shards cost d·``top_depth`` compressions, amortised
+        ~0 when events cluster (the E12 claim).  Cross-checks the result
+        against the latest announced global root; on a mismatch (a forged
+        foreign digest slipped into the window) the fold is rolled back so
+        the view stays at its last good commit, and the peer should
+        recover via :meth:`sync_from_store` (a later event or checkpoint
+        for the poisoned shard supersedes the forged root).
+        """
+        previous = {
+            shard_id: self.top.leaf(shard_id) for shard_id in self._pending
+        }
+        for shard_id in sorted(self._pending):
+            self.top.set_leaf(shard_id, self._pending[shard_id])
+        root = self.top.root
+        if self._announced_root is not None and root != self._announced_root:
+            for shard_id, value in previous.items():
+                self.top.set_leaf(shard_id, value)
+            # _pending is kept: a genuine later recording can supersede it.
+            raise InconsistentTreeUpdate(
+                "committed top-tree root does not match the announced global root"
+            )
+        self._pending.clear()
+        if not self._recent_roots or self._recent_roots[-1] != root:
+            self._recent_roots.append(root)
+        self.stats.commits += 1
+        return root
+
+    @property
+    def root(self) -> FieldElement:
+        """Current global root (commits pending shard roots first)."""
+        if self._pending:
+            return self.commit()
+        return self.top.root
+
+    def recent_roots(self) -> list[FieldElement]:
+        """Most recent committed roots, newest last (the validator's window)."""
+        return list(self._recent_roots)
+
+    def is_acceptable_root(self, root: FieldElement) -> bool:
+        """Validator root acceptance (the §III-F item-2 check).
+
+        Never raises into the relay callback: if the pending fold fails
+        its announced-root cross-check, no new root enters the window and
+        the bundle is simply not acceptable until the view resyncs.
+        """
+        if self._pending:
+            try:
+                self.commit()
+            except InconsistentTreeUpdate:
+                return False
+        return root in self._recent_roots
+
+    # -- witnesses -------------------------------------------------------------
+
+    def witness(self, index: int) -> MerkleProof:
+        """Full-depth spliced auth path for a *home-shard* member."""
+        if index >> self.shard_depth != self.home_shard:
+            raise MerkleError(
+                f"index {index} is outside home shard {self.home_shard}; "
+                "only the materialised shard can produce witnesses"
+            )
+        if self._pending:
+            self.commit()
+        local = index & (self.shard_capacity - 1)
+        return splice(self.shard.proof(local), self.top.proof(self.home_shard))
+
+    # -- checkpoint + delta fallback (§III-C over 13/WAKU2-STORE) ---------------
+
+    def restore(self, checkpoint: TreeCheckpoint) -> None:
+        """Adopt foreign-shard state from an archived checkpoint.
+
+        The home shard is *not* overwritten — it must already be replayed
+        up to ``checkpoint.seq`` (from the home shard topic), and its root
+        is cross-checked against the checkpoint's entry.
+        """
+        if checkpoint.depth != self.depth or checkpoint.shard_depth != self.shard_depth:
+            raise SyncError("checkpoint geometry does not match this view")
+        if checkpoint.seq < self.seq:
+            raise SyncError(
+                f"checkpoint seq {checkpoint.seq} is older than local seq {self.seq}"
+            )
+        roots = dict(checkpoint.shard_roots)
+        expected_home = roots.get(self.home_shard, self.empty_shard_root)
+        if self.shard.root != expected_home:
+            raise InconsistentTreeUpdate(
+                "home shard replay does not match the checkpoint's shard root"
+            )
+        for shard_id, root in roots.items():
+            if shard_id != self.home_shard:
+                self._pending[shard_id] = root
+        self._pending[self.home_shard] = self.shard.root
+        self.seq = checkpoint.seq
+        self._announced_root = checkpoint.global_root
+        self.stats.checkpoints_restored += 1
+
+    def sync_from_store(
+        self,
+        client: "StoreClient",
+        store_peer: str,
+        *,
+        page_size: int = 64,
+        on_done: Callable[[FieldElement], None] | None = None,
+    ) -> None:
+        """Recover missed epochs from a store node: checkpoint, then deltas.
+
+        Three queries over the store protocol: the newest checkpoint
+        (descending, single message), the home shard's update history, and
+        the global digest feed.  Home events up to the checkpoint are
+        replayed into the shard, the checkpoint supplies foreign roots, and
+        everything after it is applied in sequence order.  The delta
+        queries page newest-first and stop at the first event this view
+        already holds (home) or the checkpoint covers (digests), so a
+        peer that missed a handful of events fetches a handful of
+        messages, not the archive.
+        """
+        state: dict[str, object] = {}
+
+        def seq_floor_reached(floor: int):
+            """Stop paginating once a page reaches an already-covered seq."""
+
+            def check(messages: tuple[WakuMessage, ...]) -> bool:
+                for message in messages:
+                    payload = message.payload
+                    try:
+                        seq = int.from_bytes(payload[:8], "big")
+                    except (TypeError, IndexError):
+                        continue
+                    if seq <= floor:
+                        return True
+                return False
+
+            return check
+
+        def have_checkpoint(messages: list[WakuMessage]) -> None:
+            checkpoint = None
+            for message in messages:  # newest first (descending query)
+                try:
+                    candidate = TreeCheckpoint.from_bytes(message.payload)
+                except ProtocolError:
+                    continue
+                if checkpoint is None or candidate.seq > checkpoint.seq:
+                    checkpoint = candidate
+            state["checkpoint"] = checkpoint
+            client.query(
+                store_peer,
+                content_topics=(shard_topic(self.home_shard),),
+                page_size=page_size,
+                descending=True,
+                stop_when=seq_floor_reached(self.seq),
+                on_complete=have_home,
+            )
+
+        def have_home(messages: list[WakuMessage]) -> None:
+            updates = []
+            for message in messages:
+                try:
+                    updates.append(ShardUpdate.from_bytes(message.payload))
+                except ProtocolError:
+                    continue
+            state["home"] = sorted(updates, key=lambda u: u.seq)
+            checkpoint = state["checkpoint"]
+            floor = max(
+                self.seq,
+                checkpoint.seq if isinstance(checkpoint, TreeCheckpoint) else 0,
+            )
+            client.query(
+                store_peer,
+                content_topics=(DIGEST_TOPIC,),
+                page_size=page_size,
+                descending=True,
+                stop_when=seq_floor_reached(floor),
+                on_complete=have_digests,
+            )
+
+        def have_digests(messages: list[WakuMessage]) -> None:
+            digests = []
+            for message in messages:
+                try:
+                    digests.append(ShardRootDigest.from_bytes(message.payload))
+                except ProtocolError:
+                    continue
+            root = self._replay_archive(
+                state["checkpoint"],  # type: ignore[arg-type]
+                state["home"],  # type: ignore[arg-type]
+                sorted(digests, key=lambda d: d.seq),
+            )
+            if on_done is not None:
+                on_done(root)
+
+        client.query(
+            store_peer,
+            content_topics=(CHECKPOINT_TOPIC,),
+            page_size=1,
+            descending=True,
+            limit=1,
+            on_complete=have_checkpoint,
+        )
+
+    def _replay_archive(
+        self,
+        checkpoint: TreeCheckpoint | None,
+        home_updates: Sequence[ShardUpdate],
+        digests: Sequence[ShardRootDigest],
+    ) -> FieldElement:
+        if checkpoint is not None and checkpoint.seq > self.seq:
+            # Home history up to the checkpoint replays into the shard
+            # (foreign events in that range are subsumed by the checkpoint).
+            for update in home_updates:
+                if self.seq < update.seq <= checkpoint.seq:
+                    self._write_home(update)
+                    self.stats.bytes_consumed += update.byte_size()
+            self.restore(checkpoint)
+        # Everything after the checkpoint applies in contiguous seq order;
+        # full home updates take precedence over their digests.
+        merged: dict[int, ShardUpdate | ShardRootDigest] = {}
+        for digest in digests:
+            merged[digest.seq] = digest
+        for update in home_updates:
+            merged[update.seq] = update
+        for seq in sorted(merged):
+            if seq > self.seq:
+                self.apply(merged[seq])
+        return self.commit()
+
+    # -- accounting -------------------------------------------------------------
+
+    @property
+    def hash_ops(self) -> int:
+        """Compressions performed by this peer (home shard + top tree)."""
+        return self.shard.hash_ops + self.top.hash_ops
+
+    def storage_bytes(self) -> int:
+        """Persistent state: the home shard plus the top tree."""
+        return self.shard.storage_bytes() + self.top.storage_bytes()
+
+
+class TreeSyncPublisher:
+    """Bridges a group manager's shard announcements onto Waku topics.
+
+    A resourceful peer (the §IV-A hybrid role) holding the full tree runs
+    this: every membership event is published as a full
+    :class:`ShardUpdate` on its shard's topic and as a
+    :class:`ShardRootDigest` on the global digest topic, and every
+    ``checkpoint_interval`` events a :class:`TreeCheckpoint` is published
+    for store archival.  ``publish`` is any sink that accepts a
+    :class:`WakuMessage` — a relay's publish, or a store node's direct
+    ``archive``.
+    """
+
+    def __init__(
+        self,
+        manager,
+        publish: Callable[[WakuMessage], None],
+        *,
+        checkpoint_interval: int = 64,
+        timestamp: Callable[[], float] | None = None,
+    ) -> None:
+        if checkpoint_interval < 1:
+            raise ProtocolError("checkpoint_interval must be >= 1")
+        self.manager = manager
+        self.publish = publish
+        self.checkpoint_interval = checkpoint_interval
+        self._timestamp = timestamp or (lambda: 0.0)
+        self._since_checkpoint = 0
+        self.updates_published = 0
+        self.checkpoints_published = 0
+        manager.on_shard_update(self._on_update)
+
+    def _on_update(self, update: ShardUpdate) -> None:
+        now = self._timestamp()
+        self.publish(
+            WakuMessage(
+                payload=update.to_bytes(),
+                content_topic=shard_topic(update.shard_id),
+                timestamp=now,
+            )
+        )
+        self.publish(
+            WakuMessage(
+                payload=update.digest().to_bytes(),
+                content_topic=DIGEST_TOPIC,
+                timestamp=now,
+            )
+        )
+        self.updates_published += 1
+        self._since_checkpoint += 1
+        if self._since_checkpoint >= self.checkpoint_interval:
+            self.publish_checkpoint()
+
+    def publish_checkpoint(self) -> TreeCheckpoint:
+        """Snapshot the manager's forest state onto the checkpoint topic."""
+        checkpoint = self.manager.checkpoint()
+        self.publish(
+            WakuMessage(
+                payload=checkpoint.to_bytes(),
+                content_topic=CHECKPOINT_TOPIC,
+                timestamp=self._timestamp(),
+            )
+        )
+        self._since_checkpoint = 0
+        self.checkpoints_published += 1
+        return checkpoint

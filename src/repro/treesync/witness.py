@@ -1,0 +1,64 @@
+"""Witness splicing: (subtree proof ∥ top-tree proof) → standard auth path.
+
+The RLN circuit (§II-B) folds one fixed-depth authentication path; it does
+not know the tree was sharded.  Because the forest split happens *at a
+level boundary*, a member's flat path is exactly its shard-local path
+followed by the top tree's path for its shard root — so splicing the two
+yields a :class:`~repro.crypto.merkle.MerkleProof` the unchanged
+``rln_circuit`` and validators accept.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.field import FieldElement
+from repro.crypto.merkle import MerkleProof
+from repro.errors import MerkleError
+from repro.treesync.forest import ShardedMerkleForest
+
+
+def splice(shard_proof: MerkleProof, top_proof: MerkleProof) -> MerkleProof:
+    """Join a shard-local path and a top-tree path into one flat path.
+
+    ``shard_proof`` authenticates the member's leaf within its shard;
+    ``top_proof`` authenticates that shard's root (its ``leaf``) within the
+    top tree, indexed by shard id.  The two must agree: the shard path
+    must fold to exactly the shard root the top proof commits to.
+    """
+    shard_root = shard_proof.compute_root()
+    if top_proof.leaf != shard_root:
+        raise MerkleError(
+            "shard proof folds to a different shard root than the top proof commits to"
+        )
+    index = (top_proof.index << shard_proof.depth) | shard_proof.index
+    siblings = shard_proof.siblings + top_proof.siblings
+    bits = shard_proof.path_bits + top_proof.path_bits
+    return MerkleProof(
+        leaf=shard_proof.leaf, index=index, siblings=siblings, path_bits=bits
+    )
+
+
+class WitnessProvider:
+    """Serves full-depth RLN witnesses from a sharded forest.
+
+    The hybrid architecture of §IV-A, shard-scoped: a resourceful peer
+    holding the forest answers witness requests by splicing the member's
+    shard-local path with the top-tree path, producing the standard
+    ``auth`` input of the circuit.
+    """
+
+    def __init__(self, forest: ShardedMerkleForest) -> None:
+        self.forest = forest
+        self.served = 0
+
+    def witness(self, index: int) -> MerkleProof:
+        """Spliced authentication path for the leaf at global ``index``."""
+        spliced = splice(
+            self.forest.shard_proof(index),
+            self.forest.top_proof(self.forest.shard_of(index)),
+        )
+        self.served += 1
+        return spliced
+
+    def witness_for(self, leaf: FieldElement) -> MerkleProof:
+        """Spliced path for the first occurrence of ``leaf``."""
+        return self.witness(self.forest.find(leaf))

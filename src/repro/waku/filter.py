@@ -17,11 +17,14 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.net.transport import Network
 from repro.waku.message import WakuMessage
 from repro.waku.relay import WakuRelay
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.pipeline.verdicts import SharedProofChecker
 
 PROTOCOL = "filter"
 
@@ -51,9 +54,21 @@ class MessagePush:
 class FilterNode:
     """Full-node side: tracks filters and pushes matching relayed traffic."""
 
-    def __init__(self, relay: WakuRelay, network: Network) -> None:
+    def __init__(
+        self,
+        relay: WakuRelay,
+        network: Network,
+        *,
+        proof_checker: "SharedProofChecker | None" = None,
+    ) -> None:
         self.relay = relay
         self.network = network
+        #: Shared proof-verdict checker: light clients cannot verify RLN
+        #: proofs themselves, so the full node re-validates before pushing
+        #: — against the relay pipeline's verdict cache, not a fresh
+        #: pairing (ROADMAP: verdict-cache sharing).
+        self.proof_checker = proof_checker
+        self.rejected_proofs = 0
         #: subscriber peer -> set of content topics
         self._filters: dict[str, set[str]] = {}
         relay.subscribe(self._on_relayed_message)
@@ -75,6 +90,10 @@ class FilterNode:
                     del self._filters[sender]
 
     def _on_relayed_message(self, message: WakuMessage) -> None:
+        if self.proof_checker is not None:
+            if self.proof_checker.check_message(message) is False:
+                self.rejected_proofs += 1
+                return
         for subscriber, topics in self._filters.items():
             if message.content_topic in topics:
                 if self.network.connected(self.relay.peer_id, subscriber):

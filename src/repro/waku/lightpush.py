@@ -17,12 +17,15 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.gossipsub.router import ValidationResult
 from repro.net.transport import Network
 from repro.waku.message import WakuMessage
 from repro.waku.relay import WakuRelay
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.pipeline.verdicts import SharedProofChecker
 
 PROTOCOL = "lightpush"
 
@@ -64,10 +67,16 @@ class LightPushNode:
         network: Network,
         *,
         validator: Callable[[WakuMessage], ValidationResult] | None = None,
+        proof_checker: "SharedProofChecker | None" = None,
     ) -> None:
         self.relay = relay
         self.network = network
         self.validator = validator
+        #: Shared proof-verdict checker, consulted before ``validator``:
+        #: a bundle the relay already judged is rejected (or passed on to
+        #: the full decision) without fresh pairing work, and a verdict
+        #: first computed here warms the relay pipeline's cache.
+        self.proof_checker = proof_checker
         self.served = 0
         self.rejected = 0
         network.register(relay.peer_id, self._on_request, protocol=PROTOCOL)
@@ -75,6 +84,20 @@ class LightPushNode:
     def _on_request(self, sender: str, request: PushRequest) -> None:
         if not isinstance(request, PushRequest):
             return
+        if self.proof_checker is not None:
+            if self.proof_checker.check_message(request.message) is False:
+                self.rejected += 1
+                self.network.send(
+                    self.relay.peer_id,
+                    sender,
+                    PushResponse(
+                        request_id=request.request_id,
+                        accepted=False,
+                        reason="validation failed: invalid proof",
+                    ),
+                    protocol=PROTOCOL,
+                )
+                return
         if self.validator is not None:
             result = self.validator(request.message)
             if result is not ValidationResult.ACCEPT:

@@ -17,12 +17,15 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.errors import NetworkError
 from repro.net.transport import Network
 from repro.waku.message import WakuMessage
 from repro.waku.relay import WakuRelay
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.pipeline.verdicts import SharedProofChecker
 
 PROTOCOL = "store"
 
@@ -34,7 +37,15 @@ DEFAULT_PAGE_SIZE = 20
 
 @dataclass(frozen=True)
 class HistoryQuery:
-    """A paginated history request."""
+    """A paginated history request.
+
+    ``descending=True`` pages newest-first — checkpoint retrieval: a
+    tree-sync peer fetches the most recent
+    :class:`~repro.treesync.messages.TreeCheckpoint` with a single
+    one-message page instead of walking the whole archive.  ``cursor`` is
+    a sequence bound: *inclusive lower* bound when ascending, *exclusive
+    upper* bound when descending (0 = unbounded, start at the newest).
+    """
 
     request_id: int
     content_topics: tuple[str, ...] = ()
@@ -42,9 +53,10 @@ class HistoryQuery:
     end_time: float | None = None
     cursor: int = 0
     page_size: int = DEFAULT_PAGE_SIZE
+    descending: bool = False
 
     def byte_size(self) -> int:
-        return 64 + sum(len(t) for t in self.content_topics)
+        return 65 + sum(len(t) for t in self.content_topics)
 
 
 @dataclass(frozen=True)
@@ -75,22 +87,36 @@ class StoreNode:
         network: Network,
         *,
         capacity: int = DEFAULT_CAPACITY,
+        proof_checker: "SharedProofChecker | None" = None,
     ) -> None:
         if capacity <= 0:
             raise NetworkError("store capacity must be positive")
         self.relay = relay
         self.network = network
         self.capacity = capacity
+        #: Shared proof-verdict checker: re-validates proof-carrying
+        #: bundles at archive time, hitting the relay pipeline's verdict
+        #: cache instead of re-pairing (ROADMAP: verdict-cache sharing).
+        self.proof_checker = proof_checker
+        self.rejected_proofs = 0
         self._archive: deque[_ArchivedMessage] = deque(maxlen=capacity)
         self._sequence = itertools.count()
-        relay.subscribe(self._archive_message)
+        relay.subscribe(self.archive)
         network.register(relay.peer_id, self._on_request, protocol=PROTOCOL)
 
     # -- archiving ----------------------------------------------------------
 
-    def _archive_message(self, message: WakuMessage) -> None:
+    def archive(self, message: WakuMessage) -> bool:
+        """Persist one message; public so non-relay producers (e.g. a
+        tree-sync publisher) can feed the archive directly.  Returns False
+        when the message was refused (ephemeral, or failed re-validation).
+        """
         if message.ephemeral:
-            return  # ephemeral messages opt out of storage (Waku semantics)
+            return False  # ephemeral messages opt out of storage (Waku semantics)
+        if self.proof_checker is not None:
+            if self.proof_checker.check_message(message) is False:
+                self.rejected_proofs += 1
+                return False
         self._archive.append(
             _ArchivedMessage(
                 message=message,
@@ -98,6 +124,7 @@ class StoreNode:
                 sequence=next(self._sequence),
             )
         )
+        return True
 
     def archived_count(self) -> int:
         return len(self._archive)
@@ -105,14 +132,27 @@ class StoreNode:
     # -- local query (used by tests and by the remote handler) ------------------
 
     def query_local(self, query: HistoryQuery) -> HistoryResponse:
-        matches = [
-            entry
-            for entry in self._archive
-            if self._matches(entry, query) and entry.sequence >= query.cursor
-        ]
+        if query.descending:
+            # cursor is an *exclusive* upper sequence bound (0 = unbounded,
+            # i.e. start at the newest entry).
+            matches = [
+                entry
+                for entry in reversed(self._archive)
+                if self._matches(entry, query)
+                and (query.cursor == 0 or entry.sequence < query.cursor)
+            ]
+        else:
+            # cursor is an inclusive lower sequence bound.
+            matches = [
+                entry
+                for entry in self._archive
+                if self._matches(entry, query) and entry.sequence >= query.cursor
+            ]
         page = matches[: query.page_size]
         if len(matches) > query.page_size:
-            cursor = page[-1].sequence + 1
+            cursor = page[-1].sequence if query.descending else page[-1].sequence + 1
+            if query.descending and cursor == 0:
+                cursor = None  # sequence 0 was just served; nothing below it
         else:
             cursor = None
         return HistoryResponse(
@@ -159,12 +199,22 @@ class StoreClient:
         start_time: float | None = None,
         end_time: float | None = None,
         page_size: int = DEFAULT_PAGE_SIZE,
+        descending: bool = False,
+        limit: int | None = None,
+        stop_when: Callable[[tuple[WakuMessage, ...]], bool] | None = None,
         on_complete: Callable[[list[WakuMessage]], None],
     ) -> None:
-        """Fetch the full (multi-page) history matching the filters.
+        """Fetch the (multi-page) history matching the filters.
 
         ``on_complete`` fires once with all pages collated, after however
-        many round trips pagination requires.
+        many round trips pagination requires.  ``limit`` stops paginating
+        once that many messages are collected — with ``descending=True``
+        and ``limit=1`` this is single-round-trip retrieval of the newest
+        match (how tree-sync peers fetch the latest checkpoint).
+        ``stop_when`` is called with each page; returning True stops the
+        pagination after that page (tree-sync delta queries walk
+        newest-first and stop at the first already-known event instead of
+        draining the whole archive).
         """
         collected: list[WakuMessage] = []
 
@@ -177,14 +227,20 @@ class StoreClient:
                 end_time=end_time,
                 cursor=cursor,
                 page_size=page_size,
+                descending=descending,
             )
             self._pending[request_id] = handle_page
             self.network.send(self.peer_id, store_peer, query, protocol=PROTOCOL)
 
         def handle_page(response: HistoryResponse) -> None:
             collected.extend(response.messages)
-            if response.cursor is None:
-                on_complete(collected)
+            done = (
+                response.cursor is None
+                or (limit is not None and len(collected) >= limit)
+                or (stop_when is not None and stop_when(response.messages))
+            )
+            if done:
+                on_complete(collected if limit is None else collected[:limit])
             else:
                 request_page(response.cursor)
 

@@ -11,6 +11,7 @@ import random
 from types import SimpleNamespace
 
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro import testing
 from repro.chain.blockchain import Blockchain, WEI
@@ -26,6 +27,13 @@ from repro.zksnark.prover import Groth16Prover, NativeProver
 #: Small depth used by most protocol-level tests (fast, still exercises
 #: multi-level paths).
 TEST_DEPTH = 8
+
+# Deterministic profile for the CI property-test job (selected with
+# ``--hypothesis-profile=ci``): derandomized so a red run is reproducible
+# from the log alone, with a fixed example budget.
+hypothesis_settings.register_profile(
+    "ci", deadline=None, max_examples=100, derandomize=True
+)
 
 #: The paper's worked example epoch (§III-D), reused wherever a test needs
 #: an arbitrary-but-realistic epoch number (re-exported from the shared

@@ -1,0 +1,96 @@
+"""Property tests: forest/flat equivalence under arbitrary interleavings.
+
+The tentpole invariant of the treesync subsystem — for any interleaving of
+inserts and deletes, the sharded forest and the flat tree produce the same
+global root, the same proofs, and proofs that verify under either root.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.field import FieldElement
+from repro.crypto.merkle import MerkleTree
+from repro.treesync import ShardedMerkleForest
+
+DEPTH = 6
+SHARD_DEPTH = 2
+
+#: An op is ("insert", value), ("append", value), or ("delete", hint);
+#: delete hints index into the currently-live set modulo its size.
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.integers(min_value=1, max_value=2**64)),
+        st.tuples(st.just("append"), st.integers(min_value=1, max_value=2**64)),
+        st.tuples(st.just("delete"), st.integers(min_value=0, max_value=2**32)),
+    ),
+    max_size=48,
+)
+
+
+def apply_ops(ops, tree_a, tree_b):
+    """Apply one op stream to both backends; yields after every op."""
+    live: list[int] = []
+    for op, value in ops:
+        if op in ("insert", "append"):
+            if tree_a.leaf_count >= tree_a.capacity and op == "append":
+                continue
+            if op == "insert":
+                if tree_a.member_count >= tree_a.capacity:
+                    continue
+                index_a = tree_a.insert(FieldElement(value))
+                index_b = tree_b.insert(FieldElement(value))
+            else:
+                if tree_a.leaf_count >= tree_a.capacity:
+                    continue
+                index_a = tree_a.append(FieldElement(value))
+                index_b = tree_b.append(FieldElement(value))
+            assert index_a == index_b
+            if index_a not in live:
+                live.append(index_a)
+        elif live:
+            index = live.pop(value % len(live))
+            tree_a.delete(index)
+            tree_b.delete(index)
+        yield live
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=ops_strategy)
+def test_roots_equal_under_any_interleaving(ops):
+    flat = MerkleTree(depth=DEPTH)
+    forest = ShardedMerkleForest(depth=DEPTH, shard_depth=SHARD_DEPTH)
+    for _ in apply_ops(ops, flat, forest):
+        assert forest.root == flat.root
+    assert forest.member_count == flat.member_count
+    assert forest.leaf_count == flat.leaf_count
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops=ops_strategy)
+def test_proofs_identical_and_verify_under_both(ops):
+    flat = MerkleTree(depth=DEPTH)
+    forest = ShardedMerkleForest(depth=DEPTH, shard_depth=SHARD_DEPTH)
+    live: list[int] = []
+    for live in apply_ops(ops, flat, forest):
+        pass
+    for index in live:
+        flat_proof = flat.proof(index)
+        forest_proof = forest.proof(index)
+        assert forest_proof == flat_proof
+        assert flat_proof.verify(forest.root)
+        assert forest_proof.verify(flat.root)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    leaves=st.lists(st.integers(min_value=0, max_value=2**64), max_size=40),
+    shard_depth=st.integers(min_value=1, max_value=DEPTH - 1),
+)
+def test_bulk_build_matches_flat_for_any_geometry(leaves, shard_depth):
+    field_leaves = [FieldElement(value) for value in leaves]
+    flat = MerkleTree.from_leaves(field_leaves, depth=DEPTH)
+    forest = ShardedMerkleForest.from_leaves(
+        field_leaves, depth=DEPTH, shard_depth=shard_depth
+    )
+    assert forest.root == flat.root
+    assert forest.member_count == flat.member_count

@@ -9,7 +9,7 @@ from repro.crypto.optimized_merkle import (
     TreeUpdate,
     divergence_level,
 )
-from repro.errors import MerkleError, SyncError
+from repro.errors import InconsistentTreeUpdate, MerkleError, SyncError
 
 
 def build_pair(depth: int = 5, members: int = 6, track: int = 2):
@@ -23,14 +23,14 @@ def build_pair(depth: int = 5, members: int = 6, track: int = 2):
 
 def announce(tree: MerkleTree, index: int, new_leaf: FieldElement) -> TreeUpdate:
     """Capture the pre-change path, then apply the change to the full tree."""
-    update = TreeUpdate(index=index, new_leaf=new_leaf, path=tree.proof(index))
+    path = tree.proof(index)
     if new_leaf == ZERO:
         tree.delete(index)
     elif index >= tree.leaf_count:
         assert tree.append(new_leaf) == index
     else:
         tree.update(index, new_leaf)
-    return update
+    return TreeUpdate(index=index, new_leaf=new_leaf, path=path, new_root=tree.root)
 
 
 class TestDivergenceLevel:
@@ -125,6 +125,43 @@ class TestOptimizedView:
         update = TreeUpdate(index=0, new_leaf=FieldElement(2), path=path)
         with pytest.raises(MerkleError):
             view.apply_update(update)
+
+    def test_forged_new_root_rejected(self):
+        # The announced root must match the locally recomputed one; a lying
+        # announcer previously went undetected (the recomputed value was
+        # trusted blindly).
+        tree, view = build_pair(members=6, track=2)
+        update = TreeUpdate(
+            index=5,
+            new_leaf=FieldElement(9999),
+            path=tree.proof(5),
+            new_root=FieldElement(0xBAD),
+        )
+        old_root = view.root
+        with pytest.raises(InconsistentTreeUpdate):
+            view.apply_update(update)
+        assert view.root == old_root  # the forged update moved nothing
+
+    def test_forged_new_root_rejected_for_own_leaf(self):
+        tree, view = build_pair(members=6, track=2)
+        update = TreeUpdate(
+            index=2,
+            new_leaf=FieldElement(4242),
+            path=tree.proof(2),
+            new_root=FieldElement(0xBAD),
+        )
+        old_leaf = view.leaf
+        with pytest.raises(InconsistentTreeUpdate):
+            view.apply_update(update)
+        assert view.leaf == old_leaf
+
+    def test_legacy_update_without_new_root_still_applies(self):
+        tree, view = build_pair(members=6, track=2)
+        path = tree.proof(5)
+        tree.update(5, FieldElement(9999))
+        legacy = TreeUpdate(index=5, new_leaf=FieldElement(9999), path=path)
+        view.apply_update(legacy)
+        assert view.root == tree.root
 
 
 class TestStorageClaim:

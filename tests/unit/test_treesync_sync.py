@@ -1,0 +1,409 @@
+"""Unit tests for shard-scoped tree sync (repro.treesync.sync)."""
+
+import pytest
+
+from repro import testing
+from repro.chain.blockchain import Blockchain, WEI
+from repro.chain.rln_contract import RLNMembershipContract
+from repro.core.config import RLNConfig
+from repro.core.membership import GroupManager
+from repro.core.validator import BundleValidator, ValidationOutcome
+from repro.crypto.commitments import commit
+from repro.crypto.field import FieldElement
+from repro.errors import InconsistentTreeUpdate, MerkleError, SyncError, TreeSyncGap
+from repro.treesync import ShardSyncManager, ShardUpdate
+from tests.conftest import TEST_DEPTH
+
+SHARD_DEPTH = 3  # 8-member shards under the 8-level test tree
+
+
+@pytest.fixture()
+def group():
+    chain = Blockchain()
+    contract = RLNMembershipContract(deposit=1 * WEI)
+    chain.deploy(contract)
+    chain.fund("funder", 500 * WEI)
+    manager = GroupManager(
+        chain,
+        contract,
+        tree_depth=TEST_DEPTH,
+        tree_backend="sharded",
+        shard_depth=SHARD_DEPTH,
+    )
+    return chain, contract, manager
+
+
+def register(chain, contract, secret):
+    return testing.register_member(chain, contract, secret)
+
+
+def slash(chain, contract, identity):
+    commitment, opening = commit(identity.sk.to_bytes(), b"funder")
+    chain.send_transaction(
+        "funder", contract.address, "slash_commit", {"digest": commitment.digest}
+    )
+    chain.mine_block()
+    chain.send_transaction(
+        "funder",
+        contract.address,
+        "slash_reveal",
+        {"sk": identity.sk.value, "nonce": opening.nonce},
+    )
+    chain.mine_block()
+
+
+class TestLiveFeed:
+    def test_tracks_manager_root(self, group):
+        chain, contract, manager = group
+        view = ShardSyncManager(home_shard=0, depth=TEST_DEPTH, shard_depth=SHARD_DEPTH)
+        manager.on_shard_update(view.apply)
+        for i in range(20):
+            register(chain, contract, 0x100 + i)
+        assert view.root == manager.root
+        assert view.seq == manager.event_seq == 20
+
+    def test_foreign_events_are_hash_free_until_commit(self, group):
+        chain, contract, manager = group
+        # Home shard 0 fills with the first 8 members; later members land
+        # in foreign shards.
+        view = ShardSyncManager(home_shard=0, depth=TEST_DEPTH, shard_depth=SHARD_DEPTH)
+        manager.on_shard_update(view.apply)
+        for i in range(8):
+            register(chain, contract, 0x200 + i)
+        view.commit()
+        base = view.hash_ops
+        for i in range(8):  # all land in shard 1: foreign
+            register(chain, contract, 0x300 + i)
+        assert view.hash_ops == base  # zero compressions before commit
+        assert view.dirty_shards == 1
+        assert view.root == manager.root  # one commit folds the burst
+        assert view.stats.foreign_events == 8
+
+    def test_deletion_in_home_shard_replays(self, group):
+        chain, contract, manager = group
+        view = ShardSyncManager(home_shard=0, depth=TEST_DEPTH, shard_depth=SHARD_DEPTH)
+        manager.on_shard_update(view.apply)
+        member = register(chain, contract, 0x400)
+        for i in range(3):
+            register(chain, contract, 0x500 + i)
+        slash(chain, contract, member)
+        assert view.root == manager.root
+        assert view.stats.home_events == 5  # 4 inserts + 1 delete
+
+    def test_gap_raises_treesyncgap(self, group):
+        chain, contract, manager = group
+        view = ShardSyncManager(home_shard=0, depth=TEST_DEPTH, shard_depth=SHARD_DEPTH)
+        updates: list[ShardUpdate] = []
+        manager.on_shard_update(updates.append)
+        for i in range(4):
+            register(chain, contract, 0x600 + i)
+        view.apply(updates[0])
+        with pytest.raises(TreeSyncGap):
+            view.apply(updates[2])  # seq 3 skips seq 2
+
+    def test_replay_is_idempotent(self, group):
+        chain, contract, manager = group
+        view = ShardSyncManager(home_shard=0, depth=TEST_DEPTH, shard_depth=SHARD_DEPTH)
+        updates: list[ShardUpdate] = []
+        manager.on_shard_update(updates.append)
+        register(chain, contract, 0x700)
+        view.apply(updates[0])
+        view.apply(updates[0])  # replayed: ignored
+        assert view.seq == 1
+
+    def test_home_digest_rejected(self, group):
+        chain, contract, manager = group
+        view = ShardSyncManager(home_shard=0, depth=TEST_DEPTH, shard_depth=SHARD_DEPTH)
+        updates: list[ShardUpdate] = []
+        manager.on_shard_update(updates.append)
+        register(chain, contract, 0x800)
+        with pytest.raises(SyncError):
+            view.apply(updates[0].digest())
+
+    def test_forged_shard_root_rejected(self, group):
+        chain, contract, manager = group
+        view = ShardSyncManager(home_shard=0, depth=TEST_DEPTH, shard_depth=SHARD_DEPTH)
+        updates: list[ShardUpdate] = []
+        manager.on_shard_update(updates.append)
+        register(chain, contract, 0x900)
+        forged = ShardUpdate(
+            seq=updates[0].seq,
+            shard_id=updates[0].shard_id,
+            update=updates[0].update,
+            new_shard_root=FieldElement(0xBAD),
+            new_global_root=updates[0].new_global_root,
+        )
+        with pytest.raises(InconsistentTreeUpdate):
+            view.apply(forged)
+        # The rejected write was rolled back: the genuine update for the
+        # same seq still applies cleanly (a forgery cannot wedge the peer).
+        view.apply(updates[0])
+        assert view.root == manager.root
+
+    def test_forged_global_root_rejected_at_commit(self, group):
+        chain, contract, manager = group
+        view = ShardSyncManager(home_shard=1, depth=TEST_DEPTH, shard_depth=SHARD_DEPTH)
+        updates: list[ShardUpdate] = []
+        manager.on_shard_update(updates.append)
+        register(chain, contract, 0xA00)
+        forged = ShardUpdate(
+            seq=updates[0].seq,
+            shard_id=updates[0].shard_id,
+            update=updates[0].update,
+            new_shard_root=updates[0].new_shard_root,
+            new_global_root=FieldElement(0xBAD),
+        )
+        view.apply(forged)  # foreign: recorded without hashing
+        with pytest.raises(InconsistentTreeUpdate):
+            view.commit()
+
+
+class TestWitnessAndValidation:
+    def test_witness_verifies_and_matches_manager(self, group):
+        chain, contract, manager = group
+        view = ShardSyncManager(home_shard=0, depth=TEST_DEPTH, shard_depth=SHARD_DEPTH)
+        manager.on_shard_update(view.apply)
+        member = register(chain, contract, 0xB00)
+        for i in range(12):
+            register(chain, contract, 0xC00 + i)
+        witness = view.witness(manager.index_of(member.pk))
+        assert witness.verify(manager.root)
+        assert witness == manager.merkle_proof(member.pk)
+
+    def test_foreign_witness_refused(self, group):
+        chain, contract, manager = group
+        view = ShardSyncManager(home_shard=0, depth=TEST_DEPTH, shard_depth=SHARD_DEPTH)
+        manager.on_shard_update(view.apply)
+        for i in range(12):
+            register(chain, contract, 0xD00 + i)
+        with pytest.raises(MerkleError):
+            view.witness(9)  # shard 1
+
+    def test_sync_view_backs_a_validator(self, group, native_prover):
+        """A ShardSyncManager is a RootAcceptor: §III-F validation works
+        against the committed window without holding the forest."""
+        chain, contract, manager = group
+        view = ShardSyncManager(home_shard=0, depth=TEST_DEPTH, shard_depth=SHARD_DEPTH)
+        manager.on_shard_update(view.apply)
+        member = register(chain, contract, 0xE00)
+        config = RLNConfig(epoch_length=30.0, max_epoch_gap=2, tree_depth=TEST_DEPTH)
+        validator = BundleValidator(config, native_prover, view)
+        message = testing.mint_bundle(
+            member, b"hello", testing.RLN_TEST_EPOCH, manager, native_prover
+        )
+        outcome, _ = validator.validate(message, testing.RLN_TEST_EPOCH, b"m1")
+        assert outcome is ValidationOutcome.VALID
+
+    def test_prover_accepts_spliced_witness(self, group, native_prover):
+        """A proof generated from the sync view's spliced witness verifies
+        through the unchanged rln_circuit statement."""
+        from repro.core.epoch import external_nullifier
+        from repro.zksnark.rln_circuit import RLNPublicInputs, RLNWitness
+
+        chain, contract, manager = group
+        view = ShardSyncManager(home_shard=0, depth=TEST_DEPTH, shard_depth=SHARD_DEPTH)
+        manager.on_shard_update(view.apply)
+        member = register(chain, contract, 0xF00)
+        public = RLNPublicInputs.for_message(
+            member, b"payload", external_nullifier(testing.RLN_TEST_EPOCH), view.root
+        )
+        witness = RLNWitness(
+            identity=member,
+            merkle_proof=view.witness(manager.index_of(member.pk)),
+        )
+        proof = native_prover.prove(public, witness)
+        assert native_prover.verify(public, proof)
+
+
+class TestCheckpoint:
+    def test_checkpoint_equivalence_across_backends(self, group):
+        chain, contract, manager = group
+        flat_manager = GroupManager(
+            chain, contract, tree_depth=TEST_DEPTH, shard_depth=SHARD_DEPTH
+        )
+        for i in range(20):
+            register(chain, contract, 0x1100 + i)
+        sharded_ckpt = manager.checkpoint()
+        flat_ckpt = flat_manager.checkpoint()
+        assert sharded_ckpt.global_root == flat_ckpt.global_root
+        assert dict(sharded_ckpt.shard_roots) == dict(flat_ckpt.shard_roots)
+        flat_manager.close()
+
+    def test_restore_from_checkpoint(self, group):
+        chain, contract, manager = group
+        updates: list[ShardUpdate] = []
+        manager.on_shard_update(updates.append)
+        for i in range(20):
+            register(chain, contract, 0x1200 + i)
+        checkpoint = manager.checkpoint()
+        # A fresh home-shard-3 peer (indices 24-31, still empty at 20
+        # members) restores foreign state from the checkpoint alone.
+        view = ShardSyncManager(home_shard=3, depth=TEST_DEPTH, shard_depth=SHARD_DEPTH)
+        view.restore(checkpoint)
+        assert view.commit() == manager.root
+        assert view.seq == manager.event_seq
+
+    def test_restore_rejects_diverged_home_shard(self, group):
+        chain, contract, manager = group
+        for i in range(4):
+            register(chain, contract, 0x1300 + i)
+        checkpoint = manager.checkpoint()
+        view = ShardSyncManager(home_shard=0, depth=TEST_DEPTH, shard_depth=SHARD_DEPTH)
+        # Home shard 0 has members but the view's shard is empty.
+        with pytest.raises(InconsistentTreeUpdate):
+            view.restore(checkpoint)
+
+    def test_restore_rejects_wrong_geometry(self, group):
+        chain, contract, manager = group
+        register(chain, contract, 0x1400)
+        checkpoint = manager.checkpoint()
+        view = ShardSyncManager(home_shard=0, depth=TEST_DEPTH, shard_depth=SHARD_DEPTH + 1)
+        with pytest.raises(SyncError):
+            view.restore(checkpoint)
+
+
+class TestGeometryDefaults:
+    def test_distributed_manager_sharded_small_depth(self):
+        """shard_depth=None resolves to min(10, depth-1) in every entry
+        point, including the DHT-backed manager (regression)."""
+        from repro.offchain.group_registry import DistributedGroupManager
+
+        class _NullDHT:
+            def get(self, key, cb):
+                cb(None, 0)
+
+            def put(self, key, value, version, on_done=None):
+                if on_done:
+                    on_done(1)
+
+        manager = DistributedGroupManager(
+            "p", _NullDHT(), tree_depth=8, tree_backend="sharded"
+        )
+        tree = manager.build_tree()
+        assert tree.shard_depth == 7
+
+    def test_flat_depth_one_tree_still_constructs(self):
+        """The seed-valid tree_depth=1 flat configuration (regression)."""
+        chain = Blockchain()
+        contract = RLNMembershipContract(deposit=1 * WEI)
+        chain.deploy(contract)
+        manager = GroupManager(chain, contract, tree_depth=1)
+        assert manager.shard_depth == 0
+        manager.close()
+
+
+class TestWireSizes:
+    def test_byte_size_matches_encoding(self, group):
+        chain, contract, manager = group
+        updates: list[ShardUpdate] = []
+        manager.on_shard_update(updates.append)
+        register(chain, contract, 0x1500)
+        update = updates[0]
+        assert update.byte_size() == len(update.to_bytes())
+        assert update.digest().byte_size() == len(update.digest().to_bytes())
+        checkpoint = manager.checkpoint()
+        assert checkpoint.byte_size() == len(checkpoint.to_bytes())
+
+
+class TestCommitRecovery:
+    def test_failed_commit_rolls_back_and_recovers(self, group):
+        """A forged foreign digest cannot poison the top tree: the fold is
+        rolled back, the validator path sees 'not acceptable' instead of
+        an exception, and a genuine later recording supersedes it."""
+        chain, contract, manager = group
+        view = ShardSyncManager(home_shard=1, depth=TEST_DEPTH, shard_depth=SHARD_DEPTH)
+        updates: list[ShardUpdate] = []
+        manager.on_shard_update(updates.append)
+        register(chain, contract, 0x1600)
+        good_root = view.commit()
+        forged = ShardUpdate(
+            seq=updates[0].seq,
+            shard_id=updates[0].shard_id,
+            update=updates[0].update,
+            new_shard_root=FieldElement(0xBAD),
+            new_global_root=FieldElement(0xBAD),
+        )
+        view.apply(forged)
+        # The relay hot path degrades gracefully (no exception, no accept).
+        assert view.is_acceptable_root(manager.root) is False
+        assert view.top.root == good_root  # rolled back, not poisoned
+        # A genuine later event in the same shard supersedes the forgery.
+        register(chain, contract, 0x1601)
+        view.apply(updates[1])
+        assert view.commit() == manager.root
+
+    def test_bootstrapped_manager_agrees_on_seq_after_deletions(self, group):
+        chain, contract, manager = group
+        members = [register(chain, contract, 0x1700 + i) for i in range(4)]
+        slash(chain, contract, members[1])
+        assert manager.event_seq == 5  # 4 registrations + 1 deletion
+        late = GroupManager(
+            chain,
+            contract,
+            tree_depth=TEST_DEPTH,
+            tree_backend="sharded",
+            shard_depth=SHARD_DEPTH,
+        )
+        assert late.event_seq == manager.event_seq
+        late.close()
+
+
+class TestForgedAnnouncementHardening:
+    def test_out_of_range_shard_id_rejected_before_recording(self, group):
+        chain, contract, manager = group
+        view = ShardSyncManager(home_shard=0, depth=TEST_DEPTH, shard_depth=SHARD_DEPTH)
+        updates: list[ShardUpdate] = []
+        manager.on_shard_update(updates.append)
+        register(chain, contract, 0x1800)
+        forged = updates[0].digest()
+        from dataclasses import replace
+
+        with pytest.raises(SyncError):
+            view.apply(replace(forged, shard_id=999))
+        # Nothing was recorded: the genuine update still applies, and the
+        # validator hot path keeps working.
+        view.apply(updates[0])
+        assert view.root == manager.root
+        assert view.is_acceptable_root(manager.root)
+
+    def test_noop_home_update_cannot_squat_a_seq(self, group):
+        chain, contract, manager = group
+        view = ShardSyncManager(home_shard=0, depth=TEST_DEPTH, shard_depth=SHARD_DEPTH)
+        updates: list[ShardUpdate] = []
+        manager.on_shard_update(updates.append)
+        register(chain, contract, 0x1900)
+        view.apply(updates[0])
+        # Forged seq-2 event "writing" an untouched zero slot to zero,
+        # announcing the (unchanged) current roots.
+        from dataclasses import replace
+        from repro.crypto.field import ZERO
+        from repro.crypto.optimized_merkle import TreeUpdate
+
+        noop = ShardUpdate(
+            seq=2,
+            shard_id=0,
+            update=TreeUpdate(index=5, new_leaf=ZERO, path=manager.tree.proof(5)),
+            new_shard_root=updates[0].new_shard_root,
+            new_global_root=updates[0].new_global_root,
+        )
+        with pytest.raises(InconsistentTreeUpdate):
+            view.apply(noop)
+        assert view.seq == 1  # the seq was not consumed
+        register(chain, contract, 0x1901)
+        view.apply(updates[1])  # the genuine seq-2 event lands
+        assert view.root == manager.root
+
+    def test_noop_foreign_digest_cannot_squat_a_seq(self, group):
+        chain, contract, manager = group
+        view = ShardSyncManager(home_shard=1, depth=TEST_DEPTH, shard_depth=SHARD_DEPTH)
+        updates: list[ShardUpdate] = []
+        manager.on_shard_update(updates.append)
+        register(chain, contract, 0x1A00)
+        view.apply(updates[0])
+        view.commit()
+        from dataclasses import replace
+
+        stale = replace(updates[0].digest(), seq=2)  # re-announces held root
+        with pytest.raises(InconsistentTreeUpdate):
+            view.apply(stale)
+        assert view.seq == 1
