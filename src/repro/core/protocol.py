@@ -14,13 +14,16 @@ Figure 1 of the paper composes the system:
 * a :class:`~repro.core.slashing.Slasher` running commit-reveal slashing
   when the validator produces spam evidence.
 
-With the default ``PipelineConfig()`` (``batch_size=1``) validation is
-synchronous and observationally identical to the seed's direct
-``BundleValidator`` hook for traffic below the ingress token-bucket
-rates (under a flood the buckets shed load the seed would have
-verified); larger batch sizes defer verdicts through the router's
+With the default ``PipelineConfig()`` (``batch_size=1``, ``workers=0``)
+validation is synchronous and observationally identical to the seed's
+direct ``BundleValidator`` hook for traffic below the ingress
+token-bucket rates (under a flood the buckets shed load the seed would
+have verified); larger batch sizes defer verdicts through the router's
 :class:`~repro.gossipsub.router.DeferredValidation` until the batch
-flushes on its size-or-deadline trigger.
+flushes on its size-or-deadline trigger, and ``workers >= 1`` moves the
+pairing work itself onto the pipeline's
+:class:`~repro.exec.executor.SimulatedCryptoExecutor` worker lanes so
+relay callbacks return immediately even when a flush fires.
 
 Publishing (§III-E) derives the epoch from the peer's own (possibly
 drifting) clock, enforces the local one-message-per-epoch discipline, and
@@ -332,10 +335,20 @@ class WakuRLNRelayPeer:
         return verdict.action
 
     def _on_rate_limit_overflow(self, sender: str) -> None:
-        """Token-bucket overflow: count it against the forwarder's score."""
+        """Token-bucket overflow: penalise the forwarder, and once the
+        overflows persist past the configured threshold, PRUNE it from the
+        mesh directly and back off its GRAFT attempts (ROADMAP:
+        rate-limit feedback into mesh management) instead of waiting for
+        behaviour penalties to accumulate."""
         scoring = self.relay.router.scoring
         if scoring is not None:
             scoring.on_behaviour_penalty(sender)
+        threshold = self.pipeline.config.prune_overflow_threshold
+        if threshold is None:
+            return
+        if self.pipeline.ratelimiter.peer_overflows(sender) >= threshold:
+            self.pipeline.ratelimiter.reset_peer_overflows(sender)
+            self.relay.router.prune_peer(self.relay.pubsub_topic, sender)
 
     # -- slashing ----------------------------------------------------------------------------------
 
@@ -367,6 +380,11 @@ class WakuRLNRelayPeer:
         re-validation and relay validation share pairing work both ways.
         """
         return self.pipeline.shared_checker()
+
+    @property
+    def crypto_executor(self):
+        """The pipeline's crypto executor (lanes, queues, occupancy stats)."""
+        return self.pipeline.executor
 
     @property
     def router_stats(self):

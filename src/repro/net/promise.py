@@ -27,13 +27,26 @@ class Promise(Generic[T]):
         self._callbacks: list[Callable[[T], None]] = []
 
     def resolve(self, value: T) -> None:
-        """Settle the promise; every subscriber (past and future) sees ``value``."""
+        """Settle the promise; every subscriber (past and future) sees ``value``.
+
+        One subscriber raising must not strand the rest unnotified — with
+        async verdict delivery a skipped callback would park a message
+        forever.  Every callback runs; the first error is re-raised after
+        the value has been delivered to all of them.
+        """
         if self._value is not _UNSET:
             raise ReproError("promise resolved twice")
         self._value = value
         callbacks, self._callbacks = self._callbacks, []
+        first_error: Exception | None = None
         for callback in callbacks:
-            callback(value)
+            try:
+                callback(value)
+            except Exception as exc:
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
 
     def subscribe(self, callback: Callable[[T], None]) -> None:
         """Run ``callback`` with the value — now if settled, else on resolve."""

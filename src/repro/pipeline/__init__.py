@@ -10,6 +10,13 @@ The production-shaped front end of the §III-F routing decision — see
 # acyclic regardless of which package an application imports first.
 import repro.core  # noqa: F401  (import-order guard, see above)
 
+from repro.exec.costs import CryptoCostModel
+from repro.exec.executor import (
+    CryptoExecutor,
+    Priority,
+    SimulatedCryptoExecutor,
+    SynchronousCryptoExecutor,
+)
 from repro.pipeline.batch_verifier import (
     AdaptiveBatchPolicy,
     BatchVerifier,
@@ -41,6 +48,11 @@ from repro.pipeline.ratelimit import (
 __all__ = [
     "AdaptiveBatchPolicy",
     "BatchVerifier",
+    "CryptoCostModel",
+    "CryptoExecutor",
+    "Priority",
+    "SimulatedCryptoExecutor",
+    "SynchronousCryptoExecutor",
     "BatchVerifierStats",
     "SharedProofChecker",
     "VerificationJob",

@@ -26,6 +26,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.errors import ProtocolError
+from repro.exec.executor import (
+    CryptoExecutor,
+    Priority,
+    SynchronousCryptoExecutor,
+)
 from repro.net.simulator import EventHandle, Simulator
 from repro.zksnark.groth16 import Proof
 from repro.zksnark.prover import RLNProver
@@ -100,6 +105,8 @@ class BatchVerifier:
         batch_size: int = 1,
         deadline: float = 0.05,
         adaptive: AdaptiveBatchPolicy | None = None,
+        executor: CryptoExecutor | None = None,
+        flush_priority: Priority = Priority.RELAY,
     ) -> None:
         if batch_size < 1:
             raise ProtocolError("batch_size must be >= 1")
@@ -115,6 +122,13 @@ class BatchVerifier:
         self.batch_size = batch_size
         self.deadline = deadline
         self.adaptive = adaptive
+        # Size- and deadline-triggered flushes alike route through the
+        # executor; the inline default keeps the pre-executor behaviour
+        # (verdicts land before flush() returns) bit-identical.
+        self.executor: CryptoExecutor = executor or SynchronousCryptoExecutor(
+            counter=prover.pairing_counter
+        )
+        self.flush_priority = flush_priority
         self.stats = BatchVerifierStats()
         self.stats.current_target = batch_size
         self._pending: list[VerificationJob] = []
@@ -184,7 +198,14 @@ class BatchVerifier:
             self.flush()
 
     def flush(self) -> None:
-        """Verify every pending job now and deliver the verdicts."""
+        """Hand the pending batch to the executor; verdicts land on completion.
+
+        With the default synchronous executor the pairing work runs inline
+        and every verdict is delivered before this method returns — the
+        seed behaviour.  With worker lanes, flush() only *enqueues* the
+        batch (the relay callback returns immediately) and the callbacks
+        fire at simulated completion time.
+        """
         if self._deadline_handle is not None:
             self._deadline_handle.cancel()
             self._deadline_handle = None
@@ -193,19 +214,24 @@ class BatchVerifier:
             return
         self._pending = []
         self.stats.batches_verified += 1
-        verdicts = self._verify(jobs)
-        # One job's callback raising (e.g. a user on_spam hook) must not
-        # strand the other jobs of the batch with unresolved promises:
-        # deliver every verdict, then surface the first failure.
-        first_error: Exception | None = None
-        for job, ok in zip(jobs, verdicts):
-            try:
-                job.callback(ok)
-            except Exception as exc:
-                if first_error is None:
-                    first_error = exc
-        if first_error is not None:
-            raise first_error
+
+        def deliver(verdicts: list[bool]) -> None:
+            # One job's callback raising (e.g. a user on_spam hook) must not
+            # strand the other jobs of the batch with unresolved promises:
+            # deliver every verdict, then surface the first failure.
+            first_error: Exception | None = None
+            for job, ok in zip(jobs, verdicts):
+                try:
+                    job.callback(ok)
+                except Exception as exc:
+                    if first_error is None:
+                        first_error = exc
+            if first_error is not None:
+                raise first_error
+
+        self.executor.submit(
+            lambda: self._verify(jobs), deliver, priority=self.flush_priority
+        )
 
     def _verify(self, jobs: Sequence[VerificationJob]) -> list[bool]:
         if len(jobs) == 1:

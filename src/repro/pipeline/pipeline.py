@@ -34,6 +34,13 @@ from typing import Callable
 from repro.core.nullifier_log import SpamEvidence
 from repro.core.validator import BundleValidator, ValidationOutcome
 from repro.errors import ProtocolError
+from repro.exec.costs import CryptoCostModel
+from repro.exec.executor import (
+    CryptoExecutor,
+    Priority,
+    SimulatedCryptoExecutor,
+    SynchronousCryptoExecutor,
+)
 from repro.gossipsub.router import ValidationResult
 from repro.net.promise import Promise
 from repro.net.simulator import Simulator
@@ -84,6 +91,21 @@ class PipelineConfig:
     max_batch_size: int = 64
     #: EWMA smoothing factor for inter-arrival times (0 < alpha <= 1).
     arrival_smoothing: float = 0.2
+    #: Crypto worker lanes.  0 (the default) verifies inline in the relay
+    #: callback, bit-identical to the pre-executor path; >= 1 moves every
+    #: flush onto a :class:`~repro.exec.executor.SimulatedCryptoExecutor`
+    #: so relay callbacks return immediately and verdicts resolve at
+    #: simulated completion time.
+    workers: int = 0
+    #: Pairings -> modeled seconds, shared by the executor's service-time
+    #: model and the benchmark reports (one source of truth for the
+    #: paper's ~7.5 ms-per-pairing figure).
+    cost_model: CryptoCostModel = field(default_factory=CryptoCostModel)
+    #: PRUNE a peer from the mesh once its token bucket has overflowed
+    #: this many times (ROADMAP: rate-limit feedback into mesh
+    #: management); ``None`` keeps the seed behaviour of only feeding
+    #: ``on_behaviour_penalty``.
+    prune_overflow_threshold: int | None = None
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -92,6 +114,13 @@ class PipelineConfig:
             raise ProtocolError("batch_deadline must be positive")
         if self.verdict_cache_capacity < 1:
             raise ProtocolError("verdict_cache_capacity must be >= 1")
+        if self.workers < 0:
+            raise ProtocolError("workers must be >= 0")
+        if (
+            self.prune_overflow_threshold is not None
+            and self.prune_overflow_threshold < 1
+        ):
+            raise ProtocolError("prune_overflow_threshold must be >= 1 (or None)")
         if self.adaptive_batching:
             if not 1 <= self.min_batch_size <= self.max_batch_size:
                 raise ProtocolError(
@@ -181,12 +210,35 @@ class ValidationPipeline:
             peer_spec=self.config.peer_bucket,
             topic_spec=self.config.topic_bucket,
         )
+        # The pipeline owns the crypto executor: workers=0 is the inline
+        # (seed-pinned) path, workers>=1 models that many worker lanes on
+        # the simulator.  The same executor serves the relay flushes (at
+        # RELAY priority, below) and the store/filter/lightpush
+        # re-validation handed out by shared_checker() (at SERVICE
+        # priority), so heavy query load queues behind relay verdicts
+        # rather than competing with them.
+        if self.config.workers >= 1:
+            if simulator is None:
+                raise ProtocolError("workers >= 1 needs a simulator")
+            self.executor: CryptoExecutor = SimulatedCryptoExecutor(
+                simulator,
+                self.config.workers,
+                counter=prover.pairing_counter,
+                cost_model=self.config.cost_model,
+            )
+        else:
+            self.executor = SynchronousCryptoExecutor(
+                counter=prover.pairing_counter,
+                cost_model=self.config.cost_model,
+            )
         self.batch_verifier = BatchVerifier(
             prover,
             simulator,
             batch_size=self.config.batch_size,
             deadline=self.config.batch_deadline,
             adaptive=self.config.adaptive_policy(),
+            executor=self.executor,
+            flush_priority=Priority.RELAY,
         )
         self.verdict_cache = VerdictCache(self.config.verdict_cache_capacity)
         self._prover = prover
@@ -285,29 +337,43 @@ class ValidationPipeline:
         self.batch_verifier.flush()
 
     def close(self) -> None:
-        """Drain the pending batch and pin the pipeline to synchronous mode.
+        """Drain pending crypto and pin the pipeline to synchronous mode.
 
-        Called from the owning peer's ``stop()``: the parked verdicts are
-        delivered now, and any message that still trickles in afterwards
-        (the network keeps delivering in-flight RPCs) is verified
-        immediately instead of re-arming the batch deadline — a stopped
-        peer never wakes up later to do crypto.
+        Called from the owning peer's ``stop()``: the pending batch is
+        flushed, every queued/in-flight executor job delivers its verdict
+        *now*, and any message that still trickles in afterwards (the
+        network keeps delivering in-flight RPCs) is verified inline
+        instead of re-arming the batch deadline or waking worker lanes —
+        a stopped peer never wakes up later to do crypto.  Pinning the
+        executor itself (rather than swapping the verifier's reference)
+        covers every holder at once: the shared proof checkers handed to
+        store/filter/lightpush degrade to inline verification too.
         """
         self._closed = True
         self.batch_verifier.flush()
+        self.executor.drain()
+        self.executor.pin_synchronous()
 
     def reopen(self) -> None:
-        """Re-enable batching after :meth:`close` (peer restart)."""
+        """Re-enable batching and worker lanes after :meth:`close`."""
         self._closed = False
+        self.executor.unpin()
 
     def shared_checker(self) -> SharedProofChecker:
-        """A proof checker over *this* pipeline's verdict cache.
+        """A proof checker over *this* pipeline's verdict cache and executor.
 
-        Hand it to the peer's store/filter/lightpush nodes so
-        re-validation on those paths shares verdicts with the relay path
-        in both directions (ROADMAP: verdict-cache sharing).
+        Hand it to the peer's store/filter/lightpush nodes: re-validation
+        on those paths shares verdicts with the relay path in both
+        directions (ROADMAP: verdict-cache sharing), and any fresh pairing
+        work it needs is submitted through the same executor at SERVICE
+        priority — heavy query load cannot starve relay verdicts.
         """
-        return SharedProofChecker(self._prover, self.verdict_cache)
+        return SharedProofChecker(
+            self._prover,
+            self.verdict_cache,
+            executor=self.executor,
+            priority=Priority.SERVICE,
+        )
 
     # -- helpers ----------------------------------------------------------------
 

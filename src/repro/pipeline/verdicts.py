@@ -15,6 +15,8 @@ import hashlib
 
 from repro.core.messages import RateLimitProof
 from repro.errors import ProtocolError
+from repro.exec.executor import CryptoExecutor, Priority, SynchronousCryptoExecutor
+from repro.net.promise import Promise
 from repro.pipeline.lru import BoundedLRU
 from repro.waku.message import WakuMessage
 from repro.zksnark.prover import RLNProver
@@ -72,16 +74,42 @@ class SharedProofChecker:
     check stay with each path's own validator.
     """
 
-    def __init__(self, prover: RLNProver, cache: VerdictCache) -> None:
+    def __init__(
+        self,
+        prover: RLNProver,
+        cache: VerdictCache,
+        *,
+        executor: CryptoExecutor | None = None,
+        priority: Priority = Priority.SERVICE,
+    ) -> None:
         self.prover = prover
         self.cache = cache
+        #: Fresh pairing work goes through this executor at ``priority``
+        #: (SERVICE by default — behind the relay's RELAY-class flushes).
+        #: The inline default keeps stand-alone checkers synchronous.
+        self.executor: CryptoExecutor = executor or SynchronousCryptoExecutor(
+            counter=prover.pairing_counter
+        )
+        self.priority = priority
         #: Verdicts served from the shared cache (no pairing work).
         self.cache_hits = 0
         #: Verdicts that required a real pairing evaluation here.
         self.verified = 0
+        #: Deferred checks that joined a check of the same proof already
+        #: in the executor's queue (no pairing work, no extra job).
+        self.joined_in_flight = 0
+        #: key -> in-flight verdict promise; the cache only fills at
+        #: completion, so this is what stops two service paths racing the
+        #: same proof into two identical pairing jobs.
+        self._in_flight: dict[bytes, Promise[bool]] = {}
 
     def check(self, bundle: RateLimitProof) -> bool:
-        """True iff the bundle's proof verifies (cached or fresh)."""
+        """True iff the bundle's proof verifies (cached or fresh), inline.
+
+        The synchronous escape hatch: callers that cannot defer (legacy
+        call sites, tests) bypass the executor's queue.  Service nodes use
+        :meth:`check_deferred` so their load lands in the SERVICE class.
+        """
         public = bundle.public_inputs()
         key = VerdictCache.key(bundle, public)
         cached = self.cache.get(key)
@@ -93,8 +121,47 @@ class SharedProofChecker:
         self.cache.put(key, ok)
         return ok
 
+    def check_deferred(self, bundle: RateLimitProof) -> Promise[bool]:
+        """Verdict promise for one bundle; pairing work rides the executor.
+
+        A cache hit resolves immediately without touching the executor; a
+        check of the same proof already queued hands back that check's
+        promise instead of submitting a second identical job; a true miss
+        submits the pairing check at this checker's priority class and
+        resolves at (simulated) completion.  With a synchronous executor
+        the promise is always resolved on return, which is how the
+        ``workers=0`` default stays pinned to the old inline path.
+        """
+        public = bundle.public_inputs()
+        key = VerdictCache.key(bundle, public)
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            promise: Promise[bool] = Promise()
+            promise.resolve(cached)
+            return promise
+        pending = self._in_flight.get(key)
+        if pending is not None:
+            self.joined_in_flight += 1
+            return pending
+        promise = Promise()
+        self._in_flight[key] = promise
+
+        def finish(ok: bool) -> None:
+            del self._in_flight[key]
+            self.verified += 1
+            self.cache.put(key, ok)
+            promise.resolve(ok)
+
+        self.executor.submit(
+            lambda: self.prover.verify(public, bundle.proof),
+            finish,
+            priority=self.priority,
+        )
+        return promise
+
     def check_message(self, message: WakuMessage) -> bool | None:
-        """Verdict for a message's attached proof; ``None`` when absent.
+        """Inline verdict for a message's attached proof; ``None`` when absent.
 
         ``None`` (no bundle attached) lets proof-less system traffic —
         e.g. tree-sync announcements — pass through paths that archive or
@@ -104,3 +171,10 @@ class SharedProofChecker:
         if not isinstance(bundle, RateLimitProof):
             return None
         return self.check(bundle)
+
+    def check_message_deferred(self, message: WakuMessage) -> Promise[bool] | None:
+        """Deferred twin of :meth:`check_message`; ``None`` when proof-less."""
+        bundle = message.rate_limit_proof
+        if not isinstance(bundle, RateLimitProof):
+            return None
+        return self.check_deferred(bundle)

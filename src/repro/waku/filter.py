@@ -91,9 +91,22 @@ class FilterNode:
 
     def _on_relayed_message(self, message: WakuMessage) -> None:
         if self.proof_checker is not None:
-            if self.proof_checker.check_message(message) is False:
-                self.rejected_proofs += 1
+            # Fresh pairing work rides the pipeline's executor at SERVICE
+            # priority; the push happens at (simulated) verdict time.  A
+            # synchronous executor resolves inline — the seed behaviour.
+            verdict = self.proof_checker.check_message_deferred(message)
+            if verdict is not None:
+                verdict.subscribe(lambda ok: self._push_if_valid(message, ok))
                 return
+        self._push(message)
+
+    def _push_if_valid(self, message: WakuMessage, ok: bool) -> None:
+        if not ok:
+            self.rejected_proofs += 1
+            return
+        self._push(message)
+
+    def _push(self, message: WakuMessage) -> None:
         for subscriber, topics in self._filters.items():
             if message.content_topic in topics:
                 if self.network.connected(self.relay.peer_id, subscriber):

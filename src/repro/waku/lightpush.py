@@ -85,19 +85,36 @@ class LightPushNode:
         if not isinstance(request, PushRequest):
             return
         if self.proof_checker is not None:
-            if self.proof_checker.check_message(request.message) is False:
-                self.rejected += 1
-                self.network.send(
-                    self.relay.peer_id,
-                    sender,
-                    PushResponse(
-                        request_id=request.request_id,
-                        accepted=False,
-                        reason="validation failed: invalid proof",
-                    ),
-                    protocol=PROTOCOL,
+            # The pairing check rides the pipeline's executor at SERVICE
+            # priority; the publish + acknowledgement happen at verdict
+            # time.  A synchronous executor resolves inline (seed path).
+            verdict = self.proof_checker.check_message_deferred(request.message)
+            if verdict is not None:
+                verdict.subscribe(
+                    lambda ok: self._after_proof_check(sender, request, ok)
                 )
                 return
+        self._finish_request(sender, request)
+
+    def _after_proof_check(
+        self, sender: str, request: PushRequest, proof_ok: bool
+    ) -> None:
+        if not proof_ok:
+            self.rejected += 1
+            self.network.send(
+                self.relay.peer_id,
+                sender,
+                PushResponse(
+                    request_id=request.request_id,
+                    accepted=False,
+                    reason="validation failed: invalid proof",
+                ),
+                protocol=PROTOCOL,
+            )
+            return
+        self._finish_request(sender, request)
+
+    def _finish_request(self, sender: str, request: PushRequest) -> None:
         if self.validator is not None:
             result = self.validator(request.message)
             if result is not ValidationResult.ACCEPT:

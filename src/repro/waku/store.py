@@ -97,8 +97,12 @@ class StoreNode:
         #: Shared proof-verdict checker: re-validates proof-carrying
         #: bundles at archive time, hitting the relay pipeline's verdict
         #: cache instead of re-pairing (ROADMAP: verdict-cache sharing).
+        #: Fresh pairing work rides the pipeline's crypto executor at
+        #: SERVICE priority, behind relay verdicts.
         self.proof_checker = proof_checker
         self.rejected_proofs = 0
+        #: Archive decisions parked on an in-flight SERVICE-class check.
+        self.pending_validations = 0
         self._archive: deque[_ArchivedMessage] = deque(maxlen=capacity)
         self._sequence = itertools.count()
         relay.subscribe(self.archive)
@@ -106,17 +110,40 @@ class StoreNode:
 
     # -- archiving ----------------------------------------------------------
 
-    def archive(self, message: WakuMessage) -> bool:
+    def archive(self, message: WakuMessage) -> bool | None:
         """Persist one message; public so non-relay producers (e.g. a
         tree-sync publisher) can feed the archive directly.  Returns False
-        when the message was refused (ephemeral, or failed re-validation).
+        when the message was refused (ephemeral, or failed re-validation),
+        ``None`` when the verdict is still in the executor's queue — the
+        message is then committed or dropped at (simulated) completion.
+        With a synchronous executor (``workers=0``) this never returns
+        ``None``.
         """
         if message.ephemeral:
             return False  # ephemeral messages opt out of storage (Waku semantics)
         if self.proof_checker is not None:
-            if self.proof_checker.check_message(message) is False:
-                self.rejected_proofs += 1
-                return False
+            verdict = self.proof_checker.check_message_deferred(message)
+            if verdict is not None:
+                if not verdict.resolved:
+                    self.pending_validations += 1
+                    verdict.subscribe(
+                        lambda ok: self._finish_deferred_archive(message, ok)
+                    )
+                    return None
+                if verdict.value is False:
+                    self.rejected_proofs += 1
+                    return False
+        self._commit(message)
+        return True
+
+    def _finish_deferred_archive(self, message: WakuMessage, ok: bool) -> None:
+        self.pending_validations -= 1
+        if ok:
+            self._commit(message)
+        else:
+            self.rejected_proofs += 1
+
+    def _commit(self, message: WakuMessage) -> None:
         self._archive.append(
             _ArchivedMessage(
                 message=message,
@@ -124,7 +151,6 @@ class StoreNode:
                 sequence=next(self._sequence),
             )
         )
-        return True
 
     def archived_count(self) -> int:
         return len(self._archive)

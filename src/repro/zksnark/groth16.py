@@ -70,11 +70,14 @@ BATCH_FIXED_PAIRINGS = 3
 
 @dataclass
 class PairingCounter:
-    """Pairing-evaluation accounting — the cost model of experiments E2/E11.
+    """Pairing-evaluation accounting — the cost unit of experiments E2/E11/E13.
 
     The simulation cannot time real BN254 pairings, so the benchmarks count
     *evaluations* instead: wall-clock on the authors' stack is proportional
-    to this counter (~7.5 ms per pairing at ~30 ms per 4-pairing verify).
+    to this counter.  The one evaluations-to-seconds conversion lives in
+    :class:`repro.exec.costs.CryptoCostModel` (anchored to the paper's
+    ~30 ms per 4-pairing verify), shared by the async executor's
+    service-time model and the benchmark reports.
     """
 
     evaluations: int = 0

@@ -1,0 +1,139 @@
+"""The async crypto executor inside a live network (tentpole integration).
+
+Worker-lane deployments must deliver the same traffic and convict the same
+spammers as the synchronous default — only the *timing* moves: relay
+callbacks return immediately and verdicts land at simulated completion.
+Also covers the rate-limit -> mesh-management feedback end to end.
+"""
+
+from repro.core.config import RLNConfig
+from repro.core.deployment import RLNDeployment
+from repro.pipeline.pipeline import PipelineConfig
+from repro.pipeline.ratelimit import BucketSpec
+
+DEPTH = 8
+
+
+def make_deployment(
+    pipeline_config=None, *, seed=71, peers=8, scoring=False, auto_slash=True
+):
+    config = RLNConfig(epoch_length=30.0, max_epoch_gap=1, tree_depth=DEPTH)
+    dep = RLNDeployment.create(
+        peer_count=peers,
+        degree=4,
+        seed=seed,
+        config=config,
+        pipeline_config=pipeline_config,
+        enable_scoring=scoring,
+        auto_slash=auto_slash,
+    )
+    dep.register_all()
+    dep.form_meshes(5.0)
+    return dep
+
+
+class TestWorkerLaneDeployment:
+    def test_async_network_still_delivers(self):
+        dep = make_deployment(PipelineConfig(workers=2, batch_size=4), seed=72)
+        publisher = dep.peer("peer-002")
+        publisher.publish(b"async hello")
+        dep.run(10.0)
+        assert dep.delivery_count(b"async hello") == len(dep.peers)
+        # Every relay verdict was deferred through the executor.
+        deferred = sum(p.router_stats.deferred for p in dep.peers.values())
+        assert deferred > 0
+        busy = sum(
+            sum(p.crypto_executor.stats.lane_busy_seconds)
+            for p in dep.peers.values()
+        )
+        assert busy > 0
+
+    def test_async_network_matches_sync_verdict_totals(self):
+        # The acceptance criterion at network scale: the same scenario at
+        # workers=0 and workers=2 produces identical accepted/rejected
+        # totals once the simulation settles — concurrency moves latency,
+        # never verdicts.
+        totals = []
+        for workers in (0, 2):
+            dep = make_deployment(
+                PipelineConfig(workers=workers, batch_size=4), seed=73
+            )
+            dep.peer("peer-001").publish(b"hello")
+            dep.run(3.0)
+            spammer = dep.peer("peer-004")
+            spammer.publish(b"s1", force=True)
+            dep.run(2.0)
+            spammer.publish(b"s2", force=True)
+            dep.run(8.0)
+            totals.append(
+                {
+                    name: (
+                        dict(peer.validator.stats.outcomes),
+                        peer.stats.spam_detected,
+                        sorted(m.payload for m in peer.received),
+                    )
+                    for name, peer in dep.peers.items()
+                }
+            )
+        assert totals[0] == totals[1]
+
+    def test_stopped_peer_leaves_no_crypto_behind(self):
+        dep = make_deployment(PipelineConfig(workers=2, batch_size=8), seed=74)
+        publisher = dep.peer("peer-000")
+        publisher.publish(b"parting shot")
+        dep.run(0.2)  # in flight: some verdicts still queued on lanes
+        victim = dep.peer("peer-003")
+        victim.stop()
+        assert victim.crypto_executor.busy_lanes == 0
+        assert victim.crypto_executor.queued_jobs == 0
+        dep.run(10.0)  # the rest of the network settles normally
+        assert dep.delivery_count(b"parting shot") >= len(dep.peers) - 1
+
+
+class TestRateLimitMeshFeedback:
+    def test_persistent_overflow_prunes_the_offender(self):
+        # Tiny per-peer budget + a low prune threshold: a neighbour that
+        # keeps flooding past its bucket is PRUNEd from the mesh directly
+        # (not merely penalised) and backed off.
+        # Scoring off: the prune feedback must act on its own, not lean on
+        # graylisting (which would silence the flood before the threshold).
+        dep = make_deployment(
+            PipelineConfig(
+                peer_bucket=BucketSpec(capacity=4.0, refill_per_second=0.1),
+                prune_overflow_threshold=8,
+            ),
+            seed=75,
+            auto_slash=False,
+        )
+        attacker = dep.peer("peer-000")
+        for i in range(40):
+            attacker.publish(b"flood-%d" % i, force=True)
+            dep.run(0.2)
+        dep.run(2.0)
+        pruned_by = [
+            name
+            for name, peer in dep.peers.items()
+            if name != attacker.peer_id
+            and peer.relay.router.in_graft_backoff(
+                peer.relay.pubsub_topic, attacker.peer_id
+            )
+        ]
+        assert pruned_by  # at least one mesh neighbour acted
+        for name in pruned_by:
+            router = dep.peer(name).relay.router
+            assert attacker.peer_id not in router.mesh_peers(
+                dep.peer(name).relay.pubsub_topic
+            )
+            assert router.stats.pruned_peers >= 1
+
+    def test_default_config_never_prunes(self):
+        dep = make_deployment(seed=76, scoring=True)
+        attacker = dep.peer("peer-000")
+        for i in range(10):
+            attacker.publish(b"burst-%d" % i, force=True)
+            dep.run(0.1)
+        dep.run(2.0)
+        assert all(
+            peer.relay.router.stats.pruned_peers == 0
+            for peer in dep.peers.values()
+        )

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.gossipsub",
     "repro.waku",
     "repro.core",
+    "repro.exec",
     "repro.baselines",
     "repro.offchain",
     "repro.analysis",

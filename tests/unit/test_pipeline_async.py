@@ -1,0 +1,216 @@
+"""The validation pipeline on worker lanes (workers >= 1) and its pinning.
+
+The tentpole invariant: ``workers=0`` (the default) is bit-identical to
+the inline path, while ``workers >= 1`` moves the pairing work onto the
+:class:`~repro.exec.executor.SimulatedCryptoExecutor` — relay validate
+calls return a :class:`PendingVerdict` immediately and the verdicts land
+at simulated completion time with *identical* contents.
+"""
+
+import pytest
+
+from repro.core.validator import ValidationOutcome
+from repro.errors import ProtocolError
+from repro.exec.executor import Priority
+from repro.gossipsub.router import ValidationResult
+from repro.net.simulator import Simulator
+from repro.pipeline.pipeline import (
+    PendingVerdict,
+    PipelineConfig,
+    ValidationPipeline,
+    Verdict,
+)
+from repro.testing import RLN_TEST_EPOCH as EPOCH
+from repro.waku.message import WakuMessage
+
+
+def make_pipeline(rln_env, simulator=None, **config_kwargs):
+    simulator = simulator or Simulator()
+    return (
+        ValidationPipeline(
+            rln_env.make_validator(),
+            rln_env.prover,
+            simulator,
+            PipelineConfig(**config_kwargs),
+        ),
+        simulator,
+    )
+
+
+def corrupt(message: WakuMessage) -> WakuMessage:
+    return WakuMessage(
+        payload=message.payload,
+        content_topic=message.content_topic,
+        rate_limit_proof=message.rate_limit_proof.forged_copy(),
+    )
+
+
+def stream(rln_env):
+    """A mixed message stream: valid, proof-less, stale, forged, spam pair."""
+    spammer = rln_env.register(0xA57C)
+    return [
+        rln_env.make_message(b"valid"),
+        WakuMessage(payload=b"bare", content_topic="t"),
+        rln_env.make_message(b"stale", epoch=EPOCH - 50),
+        corrupt(rln_env.make_message(b"forged")),
+        rln_env.make_message(b"spam-1", member=spammer),
+        rln_env.make_message(b"spam-2", member=spammer),
+    ]
+
+
+def run_stream(rln_env, messages, **config_kwargs):
+    """Outcome sequence + validator stats for a stream at one config."""
+    pipeline, simulator = make_pipeline(rln_env, **config_kwargs)
+    slots: list = [None] * len(messages)
+    for index, message in enumerate(messages):
+        result = pipeline.validate("peer", message, EPOCH, b"id-%d" % index)
+        if isinstance(result, PendingVerdict):
+            result.subscribe(lambda v, i=index: slots.__setitem__(i, v))
+        else:
+            slots[index] = result
+    simulator.run_until_idle()
+    assert all(isinstance(v, Verdict) for v in slots)
+    return [v.outcome for v in slots], pipeline
+
+
+class TestWorkersZeroPinned:
+    def test_default_config_uses_the_inline_executor(self, rln_env):
+        pipeline, simulator = make_pipeline(rln_env)
+        assert pipeline.executor.workers == 0
+        verdict = pipeline.validate("p", rln_env.make_message(b"m"), EPOCH, b"i")
+        assert isinstance(verdict, Verdict)  # never deferred
+        assert simulator.pending_events == 0  # no executor events scheduled
+
+    def test_workers_require_a_simulator(self, rln_env):
+        with pytest.raises(ProtocolError, match="simulator"):
+            ValidationPipeline(
+                rln_env.make_validator(),
+                rln_env.prover,
+                None,
+                PipelineConfig(workers=2),
+            )
+
+
+class TestWorkerLaneEquivalence:
+    def test_async_verdicts_match_the_synchronous_path(self, rln_env):
+        messages = stream(rln_env)
+        sync_outcomes, sync_pipeline = run_stream(rln_env, messages)
+        for workers in (1, 4):
+            async_outcomes, async_pipeline = run_stream(
+                rln_env, messages, workers=workers, batch_size=4
+            )
+            assert async_outcomes == sync_outcomes
+            assert (
+                async_pipeline.validator.stats.outcomes
+                == sync_pipeline.validator.stats.outcomes
+            )
+
+    def test_worker_lane_verdicts_are_deferred(self, rln_env):
+        pipeline, simulator = make_pipeline(rln_env, workers=1)
+        result = pipeline.validate("p", rln_env.make_message(b"m"), EPOCH, b"i")
+        assert isinstance(result, PendingVerdict)
+        assert not result.resolved
+        assert pipeline.stats.deferred == 1
+        simulator.run_until_idle()
+        assert result.resolved
+        assert result.verdict.action is ValidationResult.ACCEPT
+        # The lane was occupied for the modeled pairing time.
+        assert pipeline.executor.stats.service_seconds > 0
+        assert simulator.now == pytest.approx(
+            pipeline.executor.stats.service_seconds
+        )
+
+    def test_prefilter_drops_never_touch_the_executor(self, rln_env):
+        pipeline, simulator = make_pipeline(rln_env, workers=1)
+        verdict = pipeline.validate(
+            "p", rln_env.make_message(b"old", epoch=EPOCH - 50), EPOCH, b"i"
+        )
+        assert isinstance(verdict, Verdict)  # cheap gates stay synchronous
+        assert pipeline.executor.stats.jobs_submitted == 0
+
+
+class TestPriorityClasses:
+    def test_relay_flushes_overtake_queued_service_checks(self, rln_env):
+        pipeline, simulator = make_pipeline(rln_env, workers=1)
+        checker = pipeline.shared_checker()
+        assert checker.priority is Priority.SERVICE
+        order = []
+
+        # Occupy the single lane with a relay verdict...
+        first = pipeline.validate("p", rln_env.make_message(b"one"), EPOCH, b"a")
+        first.subscribe(lambda v: order.append("relay-1"))
+        # ...queue a service-path re-validation...
+        service = checker.check_deferred(
+            rln_env.make_message(b"svc").rate_limit_proof
+        )
+        service.subscribe(lambda ok: order.append("service"))
+        # ...then a second relay verdict, submitted *after* the service job.
+        second = pipeline.validate("p", rln_env.make_message(b"two"), EPOCH, b"b")
+        second.subscribe(lambda v: order.append("relay-2"))
+
+        simulator.run_until_idle()
+        assert order == ["relay-1", "relay-2", "service"]
+
+    def test_service_cache_hit_skips_the_queue(self, rln_env):
+        pipeline, simulator = make_pipeline(rln_env, workers=1)
+        checker = pipeline.shared_checker()
+        message = rln_env.make_message(b"warm")
+        pending = pipeline.validate("p", message, EPOCH, b"a")
+        simulator.run_until_idle()
+        assert pending.verdict.action is ValidationResult.ACCEPT
+        # Same bundle on the service path: resolved without a lane trip.
+        submitted = pipeline.executor.stats.jobs_submitted
+        verdict = checker.check_deferred(message.rate_limit_proof)
+        assert verdict.resolved and verdict.value is True
+        assert pipeline.executor.stats.jobs_submitted == submitted
+
+
+class TestCloseAndReopen:
+    def test_close_delivers_parked_verdicts_immediately(self, rln_env):
+        pipeline, simulator = make_pipeline(rln_env, workers=1, batch_size=8)
+        pending = [
+            pipeline.validate(
+                "p", rln_env.make_message(b"m-%d" % i, epoch=EPOCH + i), EPOCH + i,
+                b"id-%d" % i,
+            )
+            for i in range(3)
+        ]
+        assert all(isinstance(p, PendingVerdict) and not p.resolved for p in pending)
+        pipeline.close()
+        assert all(p.resolved for p in pending)
+        assert all(p.verdict.outcome is ValidationOutcome.VALID for p in pending)
+        # A stopped peer never wakes later to do crypto: late arrivals are
+        # verified inline, with no executor events left behind.
+        late = pipeline.validate("p", rln_env.make_message(b"late"), EPOCH, b"z")
+        assert isinstance(late, Verdict)
+        simulator.run_until_idle()  # nothing should fire twice / crash
+
+    def test_close_pins_shared_checkers_inline_too(self, rln_env):
+        pipeline, simulator = make_pipeline(rln_env, workers=1)
+        checker = pipeline.shared_checker()
+        pipeline.close()
+        # A service-path check landing after stop() must resolve inline —
+        # the checker holds the same (now pinned) executor, so no lane
+        # event may fire at a later simulated time.
+        verdict = checker.check_deferred(
+            rln_env.make_message(b"late").rate_limit_proof
+        )
+        assert verdict.resolved and verdict.value is True
+        assert pipeline.executor.busy_lanes == 0
+        assert pipeline.executor.queued_jobs == 0
+        pipeline.reopen()
+        verdict = checker.check_deferred(
+            rln_env.make_message(b"fresh").rate_limit_proof
+        )
+        assert not verdict.resolved  # lanes are back
+        simulator.run_until_idle()
+        assert verdict.value is True
+
+    def test_reopen_restores_the_worker_lanes(self, rln_env):
+        pipeline, simulator = make_pipeline(rln_env, workers=1)
+        pipeline.close()
+        pipeline.reopen()
+        result = pipeline.validate("p", rln_env.make_message(b"m"), EPOCH, b"i")
+        assert isinstance(result, PendingVerdict)
+        simulator.run_until_idle()
+        assert result.verdict.outcome is ValidationOutcome.VALID

@@ -1,0 +1,95 @@
+"""Edge-case coverage for the one-shot promise.
+
+These behaviours become load-bearing once verdicts resolve asynchronously
+(executor completions): a double resolve must fail loudly, a late
+subscriber must still see the value, and one raising callback must not
+strand the other subscribers unnotified.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.net.promise import Promise
+
+
+class TestResolution:
+    def test_value_delivered_to_prior_subscribers(self):
+        promise: Promise[int] = Promise()
+        seen: list[int] = []
+        promise.subscribe(seen.append)
+        promise.subscribe(seen.append)
+        promise.resolve(7)
+        assert seen == [7, 7]
+        assert promise.resolved and promise.value == 7
+
+    def test_double_resolve_raises(self):
+        promise: Promise[int] = Promise()
+        promise.resolve(1)
+        with pytest.raises(ReproError):
+            promise.resolve(2)
+
+    def test_double_resolve_with_same_value_still_raises(self):
+        promise: Promise[int] = Promise()
+        promise.resolve(1)
+        with pytest.raises(ReproError):
+            promise.resolve(1)
+
+    def test_value_before_resolution_raises(self):
+        promise: Promise[int] = Promise()
+        with pytest.raises(ReproError):
+            promise.value
+
+
+class TestLateSubscription:
+    def test_callback_added_after_resolution_fires_immediately(self):
+        promise: Promise[str] = Promise()
+        promise.resolve("late")
+        seen: list[str] = []
+        promise.subscribe(seen.append)
+        assert seen == ["late"]
+
+    def test_late_callback_raising_propagates_to_subscriber_caller(self):
+        promise: Promise[str] = Promise()
+        promise.resolve("v")
+        with pytest.raises(ValueError):
+            promise.subscribe(lambda _: (_ for _ in ()).throw(ValueError("boom")))
+
+
+class TestRaisingCallbacks:
+    def test_all_callbacks_run_despite_one_raising(self):
+        promise: Promise[int] = Promise()
+        seen: list[str] = []
+
+        def bad(_):
+            seen.append("bad")
+            raise ValueError("first")
+
+        def worse(_):
+            seen.append("worse")
+            raise RuntimeError("second")
+
+        promise.subscribe(bad)
+        promise.subscribe(lambda v: seen.append(f"good-{v}"))
+        promise.subscribe(worse)
+        with pytest.raises(ValueError, match="first"):
+            promise.resolve(3)
+        # Every subscriber was notified; the *first* error surfaced.
+        assert seen == ["bad", "good-3", "worse"]
+
+    def test_promise_stays_resolved_after_callback_error(self):
+        promise: Promise[int] = Promise()
+        promise.subscribe(lambda _: (_ for _ in ()).throw(ValueError()))
+        with pytest.raises(ValueError):
+            promise.resolve(9)
+        assert promise.resolved and promise.value == 9
+        late: list[int] = []
+        promise.subscribe(late.append)
+        assert late == [9]
+
+    def test_resolving_again_after_callback_error_still_raises(self):
+        promise: Promise[int] = Promise()
+        promise.subscribe(lambda _: (_ for _ in ()).throw(ValueError()))
+        with pytest.raises(ValueError):
+            promise.resolve(1)
+        with pytest.raises(ReproError):
+            promise.resolve(2)
