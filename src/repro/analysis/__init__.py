@@ -4,8 +4,10 @@ from repro.analysis.metrics import (
     DeliveryTracker,
     LatencySummary,
     SpamContainment,
+    WitnessServiceLoad,
     mean,
     spam_containment,
+    witness_service_load,
 )
 from repro.analysis.reporting import (
     ExperimentReport,
@@ -18,8 +20,10 @@ __all__ = [
     "DeliveryTracker",
     "LatencySummary",
     "SpamContainment",
+    "WitnessServiceLoad",
     "mean",
     "spam_containment",
+    "witness_service_load",
     "ExperimentReport",
     "format_bytes",
     "format_seconds",

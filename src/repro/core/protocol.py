@@ -151,6 +151,7 @@ class WakuRLNRelayPeer:
         self._slashed_cases: set[tuple[int, int]] = set()
         self._registration_tx: int | None = None
         self._stop_bucket_prune: Callable[[], None] | None = None
+        self._witness_service = None
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -380,6 +381,30 @@ class WakuRLNRelayPeer:
         re-validation and relay validation share pairing work both ways.
         """
         return self.pipeline.shared_checker()
+
+    def witness_service(self):
+        """Run the §IV-A resourceful role: serve witnesses & snapshots.
+
+        The service answers over this peer's network endpoint from its
+        group manager's tree, and its extraction work rides the relay
+        pipeline's crypto executor at SERVICE priority — witness traffic
+        queues behind relay verdicts, exactly like store/filter/lightpush
+        re-validation.  Served counts are mirrored into this peer's
+        :class:`~repro.core.validator.ValidatorStats` so benchmarks see
+        service load next to proof load.  One service per peer: repeat
+        calls return the same instance (its stats stay live).
+        """
+        from repro.witness.service import WitnessService
+
+        if self._witness_service is None:
+            self._witness_service = WitnessService(
+                self.peer_id,
+                self.group,
+                self.relay.router.network,
+                executor=self.pipeline.executor,
+                validator_stats=self.validator.stats,
+            )
+        return self._witness_service
 
     @property
     def crypto_executor(self):

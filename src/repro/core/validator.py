@@ -66,6 +66,14 @@ class ValidatorStats:
     verdicts served from the pipeline's proof-verdict cache without any
     pairing evaluation; the seed's conflation of the two hid exactly the
     saving experiment E10/E11 measures.
+
+    The witness counters record the §IV-A hybrid-role work next to the
+    proof work, so one stats object captures a peer's whole load:
+    ``witnesses_served`` on the resourceful side (mirrored from the
+    :class:`~repro.witness.service.WitnessService`), the cache hit/miss/
+    refresh triple on the light side (mirrored from the
+    :class:`~repro.witness.client.WitnessClient`).  Experiment E14 reports
+    them alongside the proof stats.
     """
 
     outcomes: dict[ValidationOutcome, int] = field(
@@ -73,6 +81,14 @@ class ValidatorStats:
     )
     proofs_verified: int = 0
     proofs_cached: int = 0
+    #: Witness/snapshot responses this peer served (resourceful role).
+    witnesses_served: int = 0
+    #: Publish-path witness acquisitions answered from the local cache.
+    witness_cache_hits: int = 0
+    #: Publish-path acquisitions that had to fetch from a provider.
+    witness_cache_misses: int = 0
+    #: Background witness re-fetches triggered by tree updates.
+    witness_refreshes: int = 0
 
     def record(self, outcome: ValidationOutcome) -> None:
         self.outcomes[outcome] += 1

@@ -170,3 +170,10 @@ class InconsistentTreeUpdate(SyncError):
 class TreeSyncGap(SyncError):
     """Membership events were missed; the consumer must fall back to
     checkpoint+delta sync (e.g. via the Waku store) before continuing."""
+
+
+class SnapshotAheadOfArchive(SyncError):
+    """A shard snapshot was cut at a newer event than any the requester
+    has archived digests for — usually a registration raced the fetch.
+    Re-querying the store extends the accepted stream far enough to
+    authenticate it; the snapshot itself may be perfectly honest."""

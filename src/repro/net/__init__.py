@@ -17,9 +17,19 @@ from repro.net.topology import (
     small_world,
     star,
 )
+from repro.net.request import (
+    PendingRequest,
+    RequestDispatcher,
+    RequestFailure,
+    RequestStats,
+)
 from repro.net.transport import Network, TrafficStats
 
 __all__ = [
+    "PendingRequest",
+    "RequestDispatcher",
+    "RequestFailure",
+    "RequestStats",
     "EventHandle",
     "Simulator",
     "DriftModel",

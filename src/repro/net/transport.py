@@ -73,6 +73,10 @@ class Network:
             raise UnknownPeer(f"{peer!r} is not in the topology")
         self._handlers[(peer, protocol)] = handler
 
+    def is_registered(self, peer: str, *, protocol: str = "gossipsub") -> bool:
+        """Whether an inbound handler is installed on this channel."""
+        return (peer, protocol) in self._handlers
+
     def add_peer(self, peer: str, neighbors: list[str]) -> None:
         """Join a new peer to the topology at runtime.
 

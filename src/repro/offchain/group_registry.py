@@ -94,7 +94,17 @@ EMPTY_SNAPSHOT = GroupSnapshot(records=frozenset())
 
 
 class DistributedGroupManager:
-    """One peer's replica of the DHT-managed membership group."""
+    """One peer's replica of the DHT-managed membership group.
+
+    ``member_mode`` selects the §IV-A role.  ``"full"`` (the default,
+    pinned seed behaviour) builds and proves from a local tree.
+    ``"light"`` holds **no** tree: any operation that would materialise
+    one raises, the member's index is still derivable from the replicated
+    snapshot (pure ordering, zero hashing), and authentication paths come
+    from a :class:`~repro.witness.client.WitnessClient` via
+    :meth:`merkle_proof_via` — fetched from resourceful peers and
+    verified against an accepted root, never trusted.
+    """
 
     def __init__(
         self,
@@ -105,13 +115,19 @@ class DistributedGroupManager:
         tree_depth: int = 20,
         tree_backend: str = "flat",
         shard_depth: int | None = None,
+        member_mode: str = "full",
     ) -> None:
+        if member_mode not in ("full", "light"):
+            raise ProtocolError(
+                f"member_mode must be 'full' or 'light', got {member_mode!r}"
+            )
         self.peer_id = peer_id
         self.dht = dht
         self.group_key = b"group:" + group_id.encode("utf-8")
         self.tree_depth = tree_depth
         self.tree_backend = tree_backend
         self.shard_depth = shard_depth
+        self.member_mode = member_mode
         self.snapshot = EMPTY_SNAPSHOT
         self._lamport = itertools.count(1)
 
@@ -194,6 +210,11 @@ class DistributedGroupManager:
         backend switch changes storage layout only — both backends produce
         the identical root, so replicas on different backends still agree.
         """
+        if self.member_mode == "light":
+            raise ProtocolError(
+                "light member holds no tree; fetch witnesses from a "
+                "witness service (merkle_proof_via)"
+            )
         tree = make_membership_tree(
             self.tree_depth,
             backend=self.tree_backend,
@@ -214,18 +235,49 @@ class DistributedGroupManager:
     def root(self) -> FieldElement:
         return self.build_tree().root
 
-    def merkle_proof(self, pk: FieldElement):
-        """Authentication path for a live member in the replicated tree."""
+    def member_index(self, pk: FieldElement) -> int:
+        """Leaf index of a live member — pure snapshot ordering, no tree.
+
+        This is all a light member needs locally: the index names the
+        slot whose witness it fetches; the path itself comes from a
+        resourceful peer.
+        """
         if pk.value in self.snapshot.removed_pks():
             raise ProtocolError(f"member {pk.value} has been removed")
-        tree = self.build_tree()
         seen: set[int] = set()
         index = 0
         for record in self.snapshot.ordered_registrations():
             if record.pk in seen:
                 continue
             if record.pk == pk.value:
-                return tree.proof(index)
+                return index
             seen.add(record.pk)
             index += 1
         raise ProtocolError(f"commitment {pk.value} is not registered")
+
+    def merkle_proof(self, pk: FieldElement):
+        """Authentication path for a live member in the replicated tree."""
+        index = self.member_index(pk)
+        return self.build_tree().proof(index)
+
+    def merkle_proof_via(
+        self,
+        client,
+        pk: FieldElement,
+        on_done: Callable[[object], None],
+        on_error: Callable[[object], None] | None = None,
+    ) -> None:
+        """Light-mode authentication path: fetched, verified, delivered.
+
+        ``client`` is a :class:`~repro.witness.client.WitnessClient`
+        (duck-typed to keep this module free of a witness dependency);
+        the client verifies the fetched path against its accepted-root
+        window — and against ``pk`` itself, so a path for a stale or
+        re-occupied slot fails over instead of reaching the prover —
+        before ``on_done`` ever sees it.  Works in either mode — a full
+        replica may still prefer fetching over an O(group) local tree
+        build.
+        """
+        client.witness(
+            self.member_index(pk), on_done, on_error, expected_leaf=pk
+        )

@@ -22,7 +22,12 @@ from repro.treesync.messages import (
     TreeCheckpoint,
     shard_topic,
 )
-from repro.treesync.sync import ShardSyncManager, TreeSyncPublisher, TreeSyncStats
+from repro.treesync.sync import (
+    ShardSyncManager,
+    SnapshotFetch,
+    TreeSyncPublisher,
+    TreeSyncStats,
+)
 from repro.treesync.witness import WitnessProvider, splice
 
 __all__ = [
@@ -33,6 +38,7 @@ __all__ = [
     "ShardSyncManager",
     "ShardUpdate",
     "ShardedMerkleForest",
+    "SnapshotFetch",
     "TopTree",
     "TreeCheckpoint",
     "TreeSyncPublisher",

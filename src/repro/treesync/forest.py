@@ -158,6 +158,12 @@ class ShardedMerkleForest:
 
     # -- node/shard access ---------------------------------------------------
 
+    @property
+    def node_hasher(self) -> NodeHasher:
+        """The two-to-one compression this forest folds with (Poseidon
+        unless an accounting hasher was injected)."""
+        return self._hash
+
     def shard_of(self, index: int) -> int:
         return index >> self.shard_depth
 

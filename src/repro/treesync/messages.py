@@ -41,29 +41,29 @@ DIGEST_TOPIC = "/treesync/1/roots/proto"
 CHECKPOINT_TOPIC = "/treesync/1/checkpoint/proto"
 
 
-def _encode_field(value: FieldElement) -> bytes:
+def encode_field(value: FieldElement) -> bytes:
     return value.to_bytes()
 
 
-def _decode_field(data: bytes, offset: int) -> tuple[FieldElement, int]:
+def decode_field(data: bytes, offset: int) -> tuple[FieldElement, int]:
     end = offset + FIELD_BYTES
     if end > len(data):
         raise ProtocolError("truncated field element")
     return FieldElement(int.from_bytes(data[offset:end], "big")), end
 
 
-def _encode_proof(proof: MerkleProof) -> bytes:
+def encode_proof(proof: MerkleProof) -> bytes:
     head = struct.pack(">QH", proof.index, proof.depth)
     return head + proof.leaf.to_bytes() + b"".join(s.to_bytes() for s in proof.siblings)
 
 
-def _decode_proof(data: bytes, offset: int) -> tuple[MerkleProof, int]:
+def decode_proof(data: bytes, offset: int) -> tuple[MerkleProof, int]:
     index, depth = struct.unpack_from(">QH", data, offset)
     offset += 10
-    leaf, offset = _decode_field(data, offset)
+    leaf, offset = decode_field(data, offset)
     siblings = []
     for _ in range(depth):
-        sibling, offset = _decode_field(data, offset)
+        sibling, offset = decode_field(data, offset)
         siblings.append(sibling)
     bits = tuple((index >> level) & 1 for level in range(depth))
     return (
@@ -95,8 +95,8 @@ class ShardRootDigest:
     def from_bytes(cls, data: bytes) -> "ShardRootDigest":
         try:
             seq, shard_id = struct.unpack_from(">QI", data, 0)
-            shard_root, offset = _decode_field(data, 12)
-            global_root, _ = _decode_field(data, offset)
+            shard_root, offset = decode_field(data, 12)
+            global_root, _ = decode_field(data, offset)
         except (struct.error, IndexError) as exc:
             raise ProtocolError(f"malformed ShardRootDigest: {exc}") from exc
         return cls(
@@ -144,7 +144,7 @@ class ShardUpdate:
             + self.update.new_leaf.to_bytes()
             + self.new_shard_root.to_bytes()
             + self.new_global_root.to_bytes()
-            + _encode_proof(self.update.path)
+            + encode_proof(self.update.path)
         )
 
     @classmethod
@@ -152,10 +152,10 @@ class ShardUpdate:
         try:
             seq, shard_id, index = struct.unpack_from(">QIQ", data, 0)
             offset = 20
-            new_leaf, offset = _decode_field(data, offset)
-            shard_root, offset = _decode_field(data, offset)
-            global_root, offset = _decode_field(data, offset)
-            path, _ = _decode_proof(data, offset)
+            new_leaf, offset = decode_field(data, offset)
+            shard_root, offset = decode_field(data, offset)
+            global_root, offset = decode_field(data, offset)
+            path, _ = decode_proof(data, offset)
         except (struct.error, IndexError) as exc:
             raise ProtocolError(f"malformed ShardUpdate: {exc}") from exc
         return cls(
@@ -215,9 +215,9 @@ class TreeCheckpoint:
             for _ in range(count):
                 (shard_id,) = struct.unpack_from(">I", data, offset)
                 offset += 4
-                root, offset = _decode_field(data, offset)
+                root, offset = decode_field(data, offset)
                 roots.append((shard_id, root))
-            global_root, _ = _decode_field(data, offset)
+            global_root, _ = decode_field(data, offset)
         except (struct.error, IndexError) as exc:
             raise ProtocolError(f"malformed TreeCheckpoint: {exc}") from exc
         return cls(

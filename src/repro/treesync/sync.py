@@ -27,13 +27,14 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence
 
-from repro.crypto.field import FieldElement
+from repro.crypto.field import FieldElement, ZERO
 from repro.crypto.merkle import MerkleProof, MerkleTree, NodeHasher, zero_hashes
 from repro.crypto.poseidon import poseidon2
 from repro.errors import (
     InconsistentTreeUpdate,
     MerkleError,
     ProtocolError,
+    SnapshotAheadOfArchive,
     SyncError,
     TreeSyncGap,
 )
@@ -52,6 +53,17 @@ from repro.waku.message import WakuMessage
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.waku.store import StoreClient
 
+#: Fallback snapshot source for :meth:`ShardSyncManager.sync_from_store`:
+#: called with (shard_id, deliver) and expected to eventually invoke
+#: ``deliver`` with a shard-leaf snapshot (anything shaped like
+#: :class:`repro.witness.messages.SnapshotResponse`), or ``None`` once
+#: every provider is exhausted.  ``deliver`` returning ``False`` means
+#: the snapshot failed authentication — the fetcher should fail over to
+#: its next provider.  A callable type rather than the concrete client
+#: keeps ``treesync`` free of a dependency on the witness subsystem
+#: built on it.
+SnapshotFetch = Callable[[int, Callable[[object], object]], None]
+
 
 @dataclass
 class TreeSyncStats:
@@ -61,15 +73,24 @@ class TreeSyncStats:
     foreign_events: int = 0
     commits: int = 0
     checkpoints_restored: int = 0
+    snapshots_restored: int = 0
     bytes_consumed: int = 0
 
 
 class ShardSyncManager:
-    """One peer's shard-scoped view of the identity forest."""
+    """One peer's shard-scoped view of the identity forest.
+
+    ``home_shard=None`` is the **light view**: the peer materialises *no*
+    shard at all, consumes every event as an O(1) digest, and keeps only
+    the top tree — enough state to track the accepted-root window (and so
+    to verify fetched witnesses against it) without ever holding member
+    leaves.  A light view cannot produce witnesses locally; it fetches
+    them from a :class:`~repro.witness.service.WitnessService`.
+    """
 
     def __init__(
         self,
-        home_shard: int,
+        home_shard: int | None,
         *,
         depth: int = 20,
         shard_depth: int = DEFAULT_SHARD_DEPTH,
@@ -83,21 +104,31 @@ class ShardSyncManager:
         self.depth = depth
         self.shard_depth = shard_depth
         self.top_depth = depth - shard_depth
-        if not 0 <= home_shard < (1 << self.top_depth):
+        if home_shard is not None and not 0 <= home_shard < (1 << self.top_depth):
             raise MerkleError(f"home shard {home_shard} out of range")
         self.home_shard = home_shard
         self.shard_capacity = 1 << shard_depth
         self._hash: NodeHasher = hasher or poseidon2
         self._zeros = zero_hashes(depth, hasher)
         self.empty_shard_root = self._zeros[shard_depth]
-        #: Fully materialised home shard.
-        self.shard = MerkleTree(depth=shard_depth, hasher=hasher)
+        #: Fully materialised home shard (``None`` for the light view).
+        self.shard: MerkleTree | None = (
+            None if home_shard is None else MerkleTree(depth=shard_depth, hasher=hasher)
+        )
         #: Top tree over shard roots (the only cross-shard state held).
         self.top = TopTree(self.top_depth, self._zeros[shard_depth:], self._hash)
         #: Shard roots recorded since the last commit — O(1) per event.
         self._pending: dict[int, FieldElement] = {}
         #: Last applied global event sequence number (0 = genesis).
         self.seq = 0
+        #: Home-shard events at or below this seq are subsumed by an
+        #: authenticated snapshot: their full updates are not needed (the
+        #: store aged them out), their digests suffice.
+        self._snapshot_floor = 0
+        #: Compressions spent on shards this view no longer holds (a
+        #: snapshot restore replaces the shard object; the counter must
+        #: stay monotone for E12/E14 accounting).
+        self._retired_hash_ops = 0
         self._announced_root: FieldElement | None = None
         self._recent_roots: deque[FieldElement] = deque(maxlen=root_window)
         self._recent_roots.append(self.top.root)
@@ -124,11 +155,16 @@ class ShardSyncManager:
             # Rejected before anything is recorded: a forged id must not
             # plant an entry commit() cannot fold.
             raise SyncError(f"shard id {item.shard_id} out of range")
-        if item.shard_id == self.home_shard:
+        if (
+            self.home_shard is not None
+            and item.shard_id == self.home_shard
+            and item.seq > self._snapshot_floor
+        ):
             if not isinstance(item, ShardUpdate):
                 raise SyncError(
                     "home-shard events need the full ShardUpdate, not a digest"
                 )
+            assert self.shard is not None
             self._write_home(item)
             self._pending[self.home_shard] = self.shard.root
         else:
@@ -152,6 +188,7 @@ class ShardSyncManager:
 
     def _write_home(self, item: ShardUpdate) -> None:
         """Replay one home-shard leaf write and cross-check the shard root."""
+        assert self.home_shard is not None and self.shard is not None
         if item.update.index >> self.shard_depth != self.home_shard:
             raise SyncError(
                 f"update index {item.update.index} is not in home shard "
@@ -245,6 +282,11 @@ class ShardSyncManager:
 
     def witness(self, index: int) -> MerkleProof:
         """Full-depth spliced auth path for a *home-shard* member."""
+        if self.home_shard is None or self.shard is None:
+            raise MerkleError(
+                "light view holds no shard; fetch witnesses from a "
+                "witness service instead"
+            )
         if index >> self.shard_depth != self.home_shard:
             raise MerkleError(
                 f"index {index} is outside home shard {self.home_shard}; "
@@ -253,7 +295,11 @@ class ShardSyncManager:
         if self._pending:
             self.commit()
         local = index & (self.shard_capacity - 1)
-        return splice(self.shard.proof(local), self.top.proof(self.home_shard))
+        return splice(
+            self.shard.proof(local),
+            self.top.proof(self.home_shard),
+            hasher=self._hash,
+        )
 
     # -- checkpoint + delta fallback (§III-C over 13/WAKU2-STORE) ---------------
 
@@ -271,15 +317,18 @@ class ShardSyncManager:
                 f"checkpoint seq {checkpoint.seq} is older than local seq {self.seq}"
             )
         roots = dict(checkpoint.shard_roots)
-        expected_home = roots.get(self.home_shard, self.empty_shard_root)
-        if self.shard.root != expected_home:
-            raise InconsistentTreeUpdate(
-                "home shard replay does not match the checkpoint's shard root"
-            )
+        if self.home_shard is not None:
+            assert self.shard is not None
+            expected_home = roots.get(self.home_shard, self.empty_shard_root)
+            if self.shard.root != expected_home:
+                raise InconsistentTreeUpdate(
+                    "home shard replay does not match the checkpoint's shard root"
+                )
         for shard_id, root in roots.items():
             if shard_id != self.home_shard:
                 self._pending[shard_id] = root
-        self._pending[self.home_shard] = self.shard.root
+        if self.home_shard is not None and self.shard is not None:
+            self._pending[self.home_shard] = self.shard.root
         self.seq = checkpoint.seq
         self._announced_root = checkpoint.global_root
         self.stats.checkpoints_restored += 1
@@ -290,7 +339,9 @@ class ShardSyncManager:
         store_peer: str,
         *,
         page_size: int = 64,
+        snapshot_fetch: "SnapshotFetch | None" = None,
         on_done: Callable[[FieldElement], None] | None = None,
+        _snapshot_retries: int = 2,
     ) -> None:
         """Recover missed epochs from a store node: checkpoint, then deltas.
 
@@ -303,8 +354,22 @@ class ShardSyncManager:
         already holds (home) or the checkpoint covers (digests), so a
         peer that missed a handful of events fetches a handful of
         messages, not the archive.
+
+        When the home topic's history has aged out of the store's
+        retention window, checkpoint+delta replay cannot rebuild the home
+        shard (the root cross-checks fail).  ``snapshot_fetch`` — e.g.
+        :meth:`repro.witness.client.WitnessClient.fetch_snapshot` — is the
+        fallback: an authenticated shard-leaf snapshot is fetched from a
+        resourceful peer and adopted only if its recomputed shard root
+        matches the root this view's accepted checkpoint+digest stream
+        commits to (never trust the server).  Without a fallback the
+        original :class:`~repro.errors.InconsistentTreeUpdate` propagates,
+        exactly as before.
+
+        A light view (``home_shard=None``) skips the home topic entirely.
         """
         state: dict[str, object] = {}
+        initial_seq = self.seq
 
         def seq_floor_reached(floor: int):
             """Stop paginating once a page reaches an already-covered seq."""
@@ -332,6 +397,10 @@ class ShardSyncManager:
                 if checkpoint is None or candidate.seq > checkpoint.seq:
                     checkpoint = candidate
             state["checkpoint"] = checkpoint
+            if self.home_shard is None:
+                # Light view: no shard to replay, straight to the digests.
+                have_home([])
+                return
             client.query(
                 store_peer,
                 content_topics=(shard_topic(self.home_shard),),
@@ -370,11 +439,120 @@ class ShardSyncManager:
                     digests.append(ShardRootDigest.from_bytes(message.payload))
                 except ProtocolError:
                     continue
-            root = self._replay_archive(
-                state["checkpoint"],  # type: ignore[arg-type]
-                state["home"],  # type: ignore[arg-type]
-                sorted(digests, key=lambda d: d.seq),
-            )
+            checkpoint = state["checkpoint"]
+            home_updates = state["home"]
+            ordered = sorted(digests, key=lambda d: d.seq)
+            try:
+                root = self._replay_archive(
+                    checkpoint,  # type: ignore[arg-type]
+                    home_updates,  # type: ignore[arg-type]
+                    ordered,
+                )
+            except SyncError:
+                if (
+                    snapshot_fetch is None
+                    or self.home_shard is None
+                    or not isinstance(checkpoint, TreeCheckpoint)
+                ):
+                    raise
+                # Home-topic history aged out of store retention: fetch an
+                # authenticated shard snapshot instead of the lost replay.
+                # Returning False (snapshot failed authentication) tells
+                # the fetcher to fail over to its next provider.  The
+                # trigger is deliberately broad — aged-out history and a
+                # forged digest both surface as InconsistentTreeUpdate, so
+                # narrowing it would strand genuine late joiners; when a
+                # snapshot cannot cure the failure, every adoption fails
+                # its cross-check and rejection[-1] re-raises below, at
+                # the cost of the wasted provider round trips.
+                rejection: list[SyncError] = []
+
+                def have_snapshot(snapshot: object | None) -> object:
+                    if snapshot is None:
+                        # Every provider exhausted.  One benign cause: a
+                        # registration raced the fetch, so every (honest)
+                        # snapshot was cut past the digests this pass
+                        # collected — re-run the whole sync so the store
+                        # queries see the newer events, bounded so a
+                        # registration flood cannot loop us forever.
+                        if _snapshot_retries > 0 and any(
+                            isinstance(error, SnapshotAheadOfArchive)
+                            for error in rejection
+                        ):
+                            self.sync_from_store(
+                                client,
+                                store_peer,
+                                page_size=page_size,
+                                snapshot_fetch=snapshot_fetch,
+                                on_done=on_done,
+                                _snapshot_retries=_snapshot_retries - 1,
+                            )
+                            return True
+                        # Surface the most informative error — the last
+                        # authentication failure if any snapshot was
+                        # delivered at all.
+                        if rejection:
+                            raise rejection[-1]
+                        raise SyncError(
+                            "home-shard history aged out of store retention "
+                            "and no snapshot provider answered"
+                        )
+                    try:
+                        rebuilt = self._authenticate_snapshot(
+                            checkpoint,
+                            snapshot,
+                            home_updates,  # type: ignore[arg-type]
+                            ordered,
+                            initial_seq=initial_seq,
+                        )
+                    except SyncError as error:
+                        rejection.append(error)
+                        return False
+                    # Adoption can still fail — the final commit
+                    # cross-check is what catches a snapshot colluding
+                    # with a forged digest — so snapshot the view's state
+                    # and roll back on failure: the next provider must
+                    # start from a clean view, not a half-adopted one.
+                    prior = (
+                        self.shard,
+                        self.seq,
+                        self._snapshot_floor,
+                        dict(self._pending),
+                        self._announced_root,
+                        self._retired_hash_ops,
+                    )
+                    prior_stats = vars(self.stats).copy()
+                    try:
+                        root = self._adopt_snapshot(
+                            checkpoint,
+                            snapshot,
+                            rebuilt,
+                            home_updates,  # type: ignore[arg-type]
+                            ordered,
+                        )
+                    except SyncError as error:
+                        (
+                            self.shard,
+                            self.seq,
+                            self._snapshot_floor,
+                            pending,
+                            self._announced_root,
+                            self._retired_hash_ops,
+                        ) = prior
+                        self._pending.clear()
+                        self._pending.update(pending)
+                        # The replayed deltas' event/byte counters must
+                        # roll back too, or a failed-over adoption
+                        # double-counts the window in E12/E14 traffic.
+                        vars(self.stats).update(prior_stats)
+                        rejection.append(error)
+                        return False
+                    if on_done is not None:
+                        on_done(root)
+                    return True
+
+                snapshot_fetch(self.home_shard, have_snapshot)
+                return
             if on_done is not None:
                 on_done(root)
 
@@ -401,8 +579,16 @@ class ShardSyncManager:
                     self._write_home(update)
                     self.stats.bytes_consumed += update.byte_size()
             self.restore(checkpoint)
-        # Everything after the checkpoint applies in contiguous seq order;
-        # full home updates take precedence over their digests.
+        return self._replay_deltas(home_updates, digests)
+
+    def _replay_deltas(
+        self,
+        home_updates: Sequence[ShardUpdate],
+        digests: Sequence[ShardRootDigest],
+    ) -> FieldElement:
+        """Apply everything past the current frontier in contiguous seq
+        order (full home updates take precedence over their digests),
+        then commit — the shared tail of both recovery paths."""
         merged: dict[int, ShardUpdate | ShardRootDigest] = {}
         for digest in digests:
             merged[digest.seq] = digest
@@ -413,16 +599,148 @@ class ShardSyncManager:
                 self.apply(merged[seq])
         return self.commit()
 
+    # -- snapshot fallback (home topic aged out of store retention) -------------
+
+    def _authenticate_snapshot(
+        self,
+        checkpoint: TreeCheckpoint,
+        snapshot: object,
+        home_updates: Sequence[ShardUpdate],
+        digests: Sequence[ShardRootDigest],
+        *,
+        initial_seq: int | None = None,
+    ) -> MerkleTree:
+        """Verify a fetched snapshot without touching any state.
+
+        Trust model: the snapshot server is *never* trusted.  The shard
+        tree is rebuilt locally from the snapshot's leaves and its root
+        must equal the root this view's own accepted stream — the
+        checkpoint entry, advanced by any home-shard digests up to the
+        snapshot's seq — commits to.  Raises :class:`SyncError` (or the
+        :class:`InconsistentTreeUpdate` subclass for a bad fold) on any
+        mismatch, so the caller can fail over to another provider with
+        the view untouched; returns the rebuilt shard for
+        :meth:`_adopt_snapshot`.
+        """
+        assert self.home_shard is not None
+        shard_id = getattr(snapshot, "shard_id", None)
+        shard_depth = getattr(snapshot, "shard_depth", None)
+        snapshot_seq = getattr(snapshot, "seq", None)
+        leaves = getattr(snapshot, "leaves", None)
+        if (
+            shard_id != self.home_shard
+            or shard_depth != self.shard_depth
+            or not isinstance(snapshot_seq, int)
+            or leaves is None
+        ):
+            raise SyncError("snapshot geometry does not match this view")
+        # Compare against the frontier this sync *started* from: a failed
+        # partial replay may have advanced self.seq past the checkpoint.
+        floor = self.seq if initial_seq is None else initial_seq
+        if checkpoint.seq < floor:
+            raise SyncError(
+                f"checkpoint seq {checkpoint.seq} is older than local seq {floor}"
+            )
+        if snapshot_seq < checkpoint.seq:
+            raise InconsistentTreeUpdate(
+                "stale snapshot: cut before the checkpoint it must extend"
+            )
+        newest_known = max(
+            [checkpoint.seq]
+            + [d.seq for d in digests]
+            + [u.seq for u in home_updates]
+        )
+        if snapshot_seq > newest_known:
+            raise SnapshotAheadOfArchive(
+                "snapshot is newer than any archived event; its shard root "
+                "cannot be authenticated against the accepted stream"
+            )
+        # The root our own accepted stream says the home shard has at
+        # snapshot_seq: checkpoint entry, advanced by later home digests.
+        roots = dict(checkpoint.shard_roots)
+        expected = roots.get(self.home_shard, self.empty_shard_root)
+        for digest in digests:
+            if (
+                checkpoint.seq < digest.seq <= snapshot_seq
+                and digest.shard_id == self.home_shard
+            ):
+                expected = digest.new_shard_root
+        # Rebuild locally; reject any snapshot that does not fold to it.
+        full = [ZERO] * self.shard_capacity
+        for local, leaf in leaves:
+            if not 0 <= local < self.shard_capacity:
+                raise SyncError(f"snapshot leaf index {local} out of shard range")
+            full[local] = leaf
+        # Trim the trailing-zero tail so the bulk build costs occupancy,
+        # not capacity (from_leaves covers the rest with the zero ladder).
+        while full and full[-1] == ZERO:
+            full.pop()
+        rebuilt = MerkleTree.from_leaves(
+            full, depth=self.shard_depth, hasher=self._hash
+        )
+        if rebuilt.root != expected:
+            raise InconsistentTreeUpdate(
+                "snapshot does not fold to the shard root the accepted "
+                "checkpoint+digest stream commits to"
+            )
+        return rebuilt
+
+    def _adopt_snapshot(
+        self,
+        checkpoint: TreeCheckpoint,
+        snapshot: object,
+        rebuilt: MerkleTree,
+        home_updates: Sequence[ShardUpdate],
+        digests: Sequence[ShardRootDigest],
+    ) -> FieldElement:
+        """Install an authenticated snapshot and replay the deltas.
+
+        The final :meth:`commit` cross-checks the whole top tree against
+        the announced global root, so a forged snapshot cannot survive
+        even if it colludes with a forged digest (the roots would not
+        fold together).
+        """
+        assert self.home_shard is not None
+        if self.shard is not None:
+            self._retired_hash_ops += self.shard.hash_ops
+        self.shard = rebuilt
+        self._snapshot_floor = int(getattr(snapshot, "seq"))
+        # A clean restore: pending state from before the failed replay (or
+        # from a partial one) is superseded by the checkpoint wholesale.
+        roots = dict(checkpoint.shard_roots)
+        self._pending.clear()
+        for sid, root in roots.items():
+            if sid != self.home_shard:
+                self._pending[sid] = root
+        self._pending[self.home_shard] = roots.get(
+            self.home_shard, self.empty_shard_root
+        )
+        self.seq = checkpoint.seq
+        self._announced_root = checkpoint.global_root
+        # Post-checkpoint events replay as usual; home events at or below
+        # the snapshot floor are consumed as digests (apply() knows).
+        root = self._replay_deltas(home_updates, digests)
+        # Accounted only once the whole adoption survived its commit
+        # cross-check — a rolled-back attempt is not a restore.
+        self.stats.checkpoints_restored += 1
+        self.stats.snapshots_restored += 1
+        byte_size = getattr(snapshot, "byte_size", None)
+        if callable(byte_size):
+            self.stats.bytes_consumed += int(byte_size())
+        return root
+
     # -- accounting -------------------------------------------------------------
 
     @property
     def hash_ops(self) -> int:
         """Compressions performed by this peer (home shard + top tree)."""
-        return self.shard.hash_ops + self.top.hash_ops
+        shard_ops = 0 if self.shard is None else self.shard.hash_ops
+        return shard_ops + self.top.hash_ops + self._retired_hash_ops
 
     def storage_bytes(self) -> int:
-        """Persistent state: the home shard plus the top tree."""
-        return self.shard.storage_bytes() + self.top.storage_bytes()
+        """Persistent state: the home shard (if any) plus the top tree."""
+        shard_bytes = 0 if self.shard is None else self.shard.storage_bytes()
+        return shard_bytes + self.top.storage_bytes()
 
 
 class TreeSyncPublisher:

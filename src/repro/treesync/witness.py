@@ -11,20 +11,40 @@ yields a :class:`~repro.crypto.merkle.MerkleProof` the unchanged
 from __future__ import annotations
 
 from repro.crypto.field import FieldElement
-from repro.crypto.merkle import MerkleProof
+from repro.crypto.merkle import MerkleProof, NodeHasher
 from repro.errors import MerkleError
 from repro.treesync.forest import ShardedMerkleForest
 
 
-def splice(shard_proof: MerkleProof, top_proof: MerkleProof) -> MerkleProof:
+def fold_path(proof: MerkleProof, hasher: NodeHasher | None = None) -> FieldElement:
+    """Fold an authentication path to its implied root.
+
+    ``hasher=None`` is :meth:`MerkleProof.compute_root` (Poseidon); a
+    custom hasher folds accounting-only trees the benchmarks build.
+    """
+    if hasher is None:
+        return proof.compute_root()
+    node = proof.leaf
+    for bit, sibling in zip(proof.path_bits, proof.siblings):
+        node = hasher(sibling, node) if bit else hasher(node, sibling)
+    return node
+
+
+def splice(
+    shard_proof: MerkleProof,
+    top_proof: MerkleProof,
+    *,
+    hasher: NodeHasher | None = None,
+) -> MerkleProof:
     """Join a shard-local path and a top-tree path into one flat path.
 
     ``shard_proof`` authenticates the member's leaf within its shard;
     ``top_proof`` authenticates that shard's root (its ``leaf``) within the
     top tree, indexed by shard id.  The two must agree: the shard path
-    must fold to exactly the shard root the top proof commits to.
+    must fold to exactly the shard root the top proof commits to
+    (``hasher`` selects the fold for trees built over an injected hash).
     """
-    shard_root = shard_proof.compute_root()
+    shard_root = fold_path(shard_proof, hasher)
     if top_proof.leaf != shard_root:
         raise MerkleError(
             "shard proof folds to a different shard root than the top proof commits to"
@@ -55,6 +75,7 @@ class WitnessProvider:
         spliced = splice(
             self.forest.shard_proof(index),
             self.forest.top_proof(self.forest.shard_of(index)),
+            hasher=self.forest.node_hasher,
         )
         self.served += 1
         return spliced

@@ -407,3 +407,60 @@ class TestForgedAnnouncementHardening:
         with pytest.raises(InconsistentTreeUpdate):
             view.apply(stale)
         assert view.seq == 1
+
+
+class TestLightView:
+    """home_shard=None: the top-tree-only view light members track."""
+
+    def test_tracks_roots_without_any_shard(self, group):
+        chain, contract, manager = group
+        view = ShardSyncManager(
+            home_shard=None, depth=TEST_DEPTH, shard_depth=SHARD_DEPTH
+        )
+        manager.on_shard_update(view.apply)
+        for i in range(20):
+            register(chain, contract, 0xD00 + i)
+        assert view.shard is None
+        assert view.root == manager.root
+        assert manager.root in view.recent_roots()
+        # Every event — home shards do not exist — was an O(1) digest.
+        assert view.stats.home_events == 0
+        assert view.stats.foreign_events == 20
+
+    def test_light_view_cannot_produce_witnesses(self, group):
+        chain, contract, manager = group
+        view = ShardSyncManager(
+            home_shard=None, depth=TEST_DEPTH, shard_depth=SHARD_DEPTH
+        )
+        manager.on_shard_update(view.apply)
+        register(chain, contract, 0xD50)
+        with pytest.raises(MerkleError, match="light view holds no shard"):
+            view.witness(0)
+
+    def test_light_view_storage_is_top_tree_only(self, group):
+        chain, contract, manager = group
+        light = ShardSyncManager(
+            home_shard=None, depth=TEST_DEPTH, shard_depth=SHARD_DEPTH
+        )
+        full = ShardSyncManager(
+            home_shard=0, depth=TEST_DEPTH, shard_depth=SHARD_DEPTH
+        )
+        manager.on_shard_update(light.apply)
+        manager.on_shard_update(full.apply)
+        for i in range(16):  # fills shards 0 and 1
+            register(chain, contract, 0xD80 + i)
+        assert light.root == full.root == manager.root
+        # The light view never paid for leaves: strictly less state, and
+        # strictly fewer compressions (no home-shard replay).
+        assert light.storage_bytes() < full.storage_bytes()
+        assert light.hash_ops < full.hash_ops
+
+    def test_light_view_is_a_root_acceptor(self, group):
+        chain, contract, manager = group
+        view = ShardSyncManager(
+            home_shard=None, depth=TEST_DEPTH, shard_depth=SHARD_DEPTH
+        )
+        manager.on_shard_update(view.apply)
+        register(chain, contract, 0xDD0)
+        assert view.is_acceptable_root(manager.root)
+        assert not view.is_acceptable_root(FieldElement(0xBADBAD))
