@@ -3,9 +3,11 @@
 from repro.analysis.metrics import (
     DeliveryTracker,
     LatencySummary,
+    NullifierMapLoad,
     SpamContainment,
     WitnessServiceLoad,
     mean,
+    nullifier_map_load,
     spam_containment,
     witness_service_load,
 )
@@ -19,9 +21,11 @@ from repro.analysis.reporting import (
 __all__ = [
     "DeliveryTracker",
     "LatencySummary",
+    "NullifierMapLoad",
     "SpamContainment",
     "WitnessServiceLoad",
     "mean",
+    "nullifier_map_load",
     "spam_containment",
     "witness_service_load",
     "ExperimentReport",

@@ -194,3 +194,50 @@ def witness_service_load(stats: Iterable[object]) -> WitnessServiceLoad:
         cache_misses=misses,
         refreshes=refreshes,
     )
+
+
+@dataclass(frozen=True)
+class NullifierMapLoad:
+    """Aggregated §III-F nullifier-map telemetry across a set of peers.
+
+    Built from :class:`~repro.core.validator.ValidatorStats` objects —
+    the memory story of the per-epoch map the paper argues stays small
+    because entries older than the accepted window are pruned.  E15
+    reports it next to the revocation timeline at 1M members.
+    """
+
+    peer_count: int
+    entries_retained: int
+    entries_pruned: int
+    #: Largest any single peer's map ever grew.
+    peak_entries: int
+
+    @property
+    def mean_retained(self) -> float:
+        if self.peer_count == 0:
+            return 0.0
+        return self.entries_retained / self.peer_count
+
+    @property
+    def prune_ratio(self) -> float:
+        """Fraction of all observed entries the window pruning reclaimed."""
+        total = self.entries_retained + self.entries_pruned
+        if total == 0:
+            return 0.0
+        return self.entries_pruned / total
+
+
+def nullifier_map_load(stats: Iterable[object]) -> NullifierMapLoad:
+    """Aggregate the nullifier-map counters over ``ValidatorStats``."""
+    peers = retained = pruned = peak = 0
+    for entry in stats:
+        peers += 1
+        retained += getattr(entry, "nullifier_entries", 0)
+        pruned += getattr(entry, "nullifiers_pruned", 0)
+        peak = max(peak, getattr(entry, "nullifier_peak_entries", 0))
+    return NullifierMapLoad(
+        peer_count=peers,
+        entries_retained=retained,
+        entries_pruned=pruned,
+        peak_entries=peak,
+    )

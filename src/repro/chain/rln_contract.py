@@ -213,7 +213,7 @@ class RLNMembershipContract(Contract):
         reward = slot.stake
         # Single-slot deletion: the O(1) cost §III-A is designed around.
         ctx.meter.charge_sstore_clear()
-        self._remove_member(index)
+        self._remove_member(ctx, index, cause="slash")
         del self._pending_slashes[digest]
         ctx.chain.contract_pay(self, ctx.sender, reward)
         ctx.meter.charge_log()
@@ -248,11 +248,11 @@ class RLNMembershipContract(Contract):
         ctx.meter.charge_sstore_clear()
         stake = slot.stake
         if self.withdrawal_delay_blocks == 0:
-            self._remove_member(index)
+            self._remove_member(ctx, index, cause="withdraw")
             ctx.chain.contract_pay(self, ctx.sender, stake)
             paid_at = ctx.block_number
         else:
-            self._remove_member(index)
+            self._remove_member(ctx, index, cause="withdraw")
             paid_at = ctx.block_number + self.withdrawal_delay_blocks
             ctx.meter.charge_sstore_set()
             self._pending_withdrawals.append(
@@ -286,13 +286,23 @@ class RLNMembershipContract(Contract):
 
     # -- internals --------------------------------------------------------------------
 
-    def _remove_member(self, index: int) -> None:
+    def _remove_member(self, ctx: CallContext, index: int, *, cause: str) -> None:
         slot = self.slots[index]
-        del self._index_of_pk[slot.pk]
+        pk = slot.pk
+        del self._index_of_pk[pk]
         # Deletion zeroes the single slot; list order (and hence every other
         # member's tree index) is untouched — the §III-A design point.
         self.slots[index] = MemberSlot(
             pk=0, owner="", stake=0, registered_block=slot.registered_block
         )
-        # A deletion event lets peers zero the corresponding leaf.
-        # (Emitted by the callers, which know the reason for removal.)
+        # The *unified* deletion event: slash and withdraw funnel through
+        # this one emission, so a single off-chain listener zeroes the leaf
+        # regardless of why the member left (the cause-specific events
+        # below carry the economics — reward, owner — for observers that
+        # care).  This is what the revocation subsystem subscribes to.
+        ctx.meter.charge_log()
+        ctx.chain.emit(
+            self.address,
+            "MemberRemoved",
+            {"index": index, "pk": pk, "cause": cause},
+        )

@@ -4,7 +4,16 @@ Each peer maintains the identity-commitment Merkle tree locally, rebuilding
 the contract's ordered list into a tree and applying its events:
 
 * ``MemberRegistered``  -> append the commitment at the announced index,
-* ``MemberSlashed`` / ``MemberWithdrawn`` -> zero the announced leaf.
+* ``MemberRemoved``     -> zero the announced leaf (the unified deletion
+  event both the slash and withdraw paths emit, so one listener handles
+  revocation regardless of cause).
+
+A removal is treated as a *security* event: besides zeroing the leaf, the
+manager collapses its accepted-root window to the post-removal root, so
+proofs built on any tree that still contained the removed member stop
+validating immediately instead of surviving until the window ages out —
+the §III-F economic argument only closes if a slashed spammer is ejected
+everywhere, at once.
 
 "Publishing peers must always stay in sync with the latest state of the
 group" (§III-C) — :meth:`GroupManager.assert_synced` cross-checks the local
@@ -43,7 +52,7 @@ from repro.treesync.forest import (
     make_membership_tree,
     membership_tree_from_leaves,
 )
-from repro.treesync.messages import ShardUpdate, TreeCheckpoint
+from repro.treesync.messages import ShardRemoval, ShardUpdate, TreeCheckpoint
 
 
 class GroupManager:
@@ -73,7 +82,9 @@ class GroupManager:
         self._recent_roots.append(self.tree.root)
         self._index_of_pk: dict[int, int] = {}
         self._update_listeners: list[Callable[[TreeUpdate], None]] = []
-        self._shard_listeners: list[Callable[[ShardUpdate], None]] = []
+        self._shard_listeners: list[
+            Callable[[ShardUpdate | ShardRemoval], None]
+        ] = []
         #: Contiguous membership-event sequence number (0 = genesis); the
         #: shard-sync protocol orders announcements by it.
         self.event_seq = 0
@@ -130,7 +141,12 @@ class GroupManager:
             return
         if event.name == "MemberRegistered":
             self._insert_at(event.data["index"], FieldElement(event.data["pk"]))
-        elif event.name in ("MemberSlashed", "MemberWithdrawn"):
+        elif event.name == "MemberRemoved":
+            # The unified deletion event: slash and withdraw both land
+            # here, so revocation needs exactly one handler.  (The
+            # cause-specific MemberSlashed/MemberWithdrawn events carry
+            # economics for other observers and are ignored for sync —
+            # handling them too would be a harmless no-op second delete.)
             self._delete_at(event.data["index"])
 
     def _insert_at(self, index: int, pk: FieldElement) -> None:
@@ -155,10 +171,18 @@ class GroupManager:
         path = self.tree.proof(index)
         self.tree.delete(index)
         self._index_of_pk.pop(leaf.value, None)
-        self._push_root()
-        self._notify(index, ZERO, path)
+        # A removal collapses the window: every root that still contained
+        # this member stops being acceptable *now*, so the removed
+        # member's stale witnesses are rejected against the current root
+        # instead of riding the window until it ages out.  Honest members
+        # with in-flight proofs against an evicted root simply refresh
+        # their witness and republish — the price of prompt revocation.
+        self._push_root(collapse=True)
+        self._notify(index, ZERO, path, removed_leaf=leaf)
 
-    def _push_root(self) -> None:
+    def _push_root(self, *, collapse: bool = False) -> None:
+        if collapse:
+            self._recent_roots.clear()
         self._recent_roots.append(self.tree.root)
 
     # -- queries --------------------------------------------------------------------
@@ -232,19 +256,36 @@ class GroupManager:
         """Subscribe to TreeUpdate announcements (for OptimizedMerkleView)."""
         self._update_listeners.append(listener)
 
-    def on_shard_update(self, listener: Callable[[ShardUpdate], None]) -> None:
-        """Subscribe to shard-tagged announcements (for ShardSyncManager)."""
+    def on_shard_update(
+        self, listener: Callable[[ShardUpdate | ShardRemoval], None]
+    ) -> None:
+        """Subscribe to shard-tagged announcements (for ShardSyncManager).
+
+        Registrations arrive as :class:`ShardUpdate`; deletions as the
+        compact :class:`ShardRemoval` (no path — the zero leaf needs
+        none, and the removal semantics must survive the digest feed).
+        """
         self._shard_listeners.append(listener)
 
     def _notify(
-        self, index: int, new_leaf: FieldElement, path: MerkleProof
+        self,
+        index: int,
+        new_leaf: FieldElement,
+        path: MerkleProof,
+        *,
+        removed_leaf: FieldElement | None = None,
     ) -> None:
         """Package one applied event for both announcement channels.
 
         ``path`` is the pre-change authentication path (captured before the
         tree mutated); the update carries the post-change root so consumers
         can reject forged announcements
-        (:class:`~repro.errors.InconsistentTreeUpdate`).
+        (:class:`~repro.errors.InconsistentTreeUpdate`).  ``removed_leaf``
+        marks the event as a deletion: the legacy
+        :class:`~repro.crypto.optimized_merkle.TreeUpdate` channel is
+        unchanged (those consumers need the path either way), but the
+        shard channel carries a :class:`ShardRemoval` so shard-scoped and
+        light consumers learn that a leaf *died*, not merely changed.
         """
         self.event_seq += 1
         update = TreeUpdate(
@@ -254,13 +295,24 @@ class GroupManager:
             listener(update)
         if self._shard_listeners:
             shard_id = self.shard_of(index)
-            announcement = ShardUpdate(
-                seq=self.event_seq,
-                shard_id=shard_id,
-                update=update,
-                new_shard_root=self.shard_root(shard_id),
-                new_global_root=self.tree.root,
-            )
+            announcement: ShardUpdate | ShardRemoval
+            if removed_leaf is not None:
+                announcement = ShardRemoval(
+                    seq=self.event_seq,
+                    shard_id=shard_id,
+                    index=index,
+                    removed_leaf=removed_leaf,
+                    new_shard_root=self.shard_root(shard_id),
+                    new_global_root=self.tree.root,
+                )
+            else:
+                announcement = ShardUpdate(
+                    seq=self.event_seq,
+                    shard_id=shard_id,
+                    update=update,
+                    new_shard_root=self.shard_root(shard_id),
+                    new_global_root=self.tree.root,
+                )
             for listener in list(self._shard_listeners):
                 listener(announcement)
 

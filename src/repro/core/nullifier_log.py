@@ -41,6 +41,12 @@ class NullifierRecord:
     epoch: int
     msg_id: bytes
 
+    def byte_size(self) -> int:
+        """Approximate retained bytes: the share's two field elements,
+        the epoch, and the message id (the map key — the internal
+        nullifier — is billed by the log)."""
+        return 2 * 32 + 8 + len(self.msg_id)
+
 
 @dataclass(frozen=True)
 class SpamEvidence:
@@ -53,10 +59,22 @@ class SpamEvidence:
 
 
 class NullifierLog:
-    """Per-epoch index of internal nullifiers to shares."""
+    """Per-epoch index of internal nullifiers to shares.
+
+    Keeps live telemetry alongside the records: ``entry_count`` (an O(1)
+    incremental counter), ``peak_entries`` (the high-water mark — the
+    §III-F "does not have to capture the entire history" claim made
+    measurable), and ``pruned_total`` (entries the epoch-window pruning
+    reclaimed).  The validator mirrors these into
+    :class:`~repro.core.validator.ValidatorStats` so the analysis layer
+    can aggregate the map's memory story across a network.
+    """
 
     def __init__(self) -> None:
         self._by_epoch: dict[int, dict[int, NullifierRecord]] = {}
+        self._entries = 0
+        self.peak_entries = 0
+        self.pruned_total = 0
 
     def observe(
         self,
@@ -71,6 +89,9 @@ class NullifierLog:
         existing = epoch_map.get(key)
         if existing is None:
             epoch_map[key] = NullifierRecord(share=share, epoch=epoch, msg_id=msg_id)
+            self._entries += 1
+            if self._entries > self.peak_entries:
+                self.peak_entries = self._entries
             return NullifierOutcome.FRESH, None
         if existing.share == share:
             return NullifierOutcome.DUPLICATE, None
@@ -91,10 +112,21 @@ class NullifierLog:
         removed = 0
         for epoch in stale:
             removed += len(self._by_epoch.pop(epoch))
+        self._entries -= removed
+        self.pruned_total += removed
         return removed
 
     def entry_count(self) -> int:
-        return sum(len(m) for m in self._by_epoch.values())
+        return self._entries
+
+    def storage_bytes(self) -> int:
+        """Approximate retained map memory: every record plus its
+        32-byte nullifier key (the §III-F memory figure at scale)."""
+        return sum(
+            32 + record.byte_size()
+            for epoch_map in self._by_epoch.values()
+            for record in epoch_map.values()
+        )
 
     def epochs_tracked(self) -> list[int]:
         return sorted(self._by_epoch)

@@ -152,6 +152,7 @@ class WakuRLNRelayPeer:
         self._registration_tx: int | None = None
         self._stop_bucket_prune: Callable[[], None] | None = None
         self._witness_service = None
+        self._slashing_coordinator = None
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -176,6 +177,8 @@ class WakuRLNRelayPeer:
         if self._stop_bucket_prune is not None:
             self._stop_bucket_prune()
             self._stop_bucket_prune = None
+        if self._slashing_coordinator is not None:
+            self._slashing_coordinator.close()
         self.relay.stop()
         self.group.close()
 
@@ -405,6 +408,36 @@ class WakuRLNRelayPeer:
                 validator_stats=self.validator.stats,
             )
         return self._witness_service
+
+    def slashing_coordinator(self):
+        """Run the distributed-revocation role: race detected spam to
+        on-chain removal.
+
+        Creating the coordinator supersedes the built-in ``auto_slash``
+        path (which fires a bare :class:`~repro.core.slashing.Slasher`
+        with no race accounting): spam evidence from this peer's
+        validation pipeline flows to
+        :meth:`~repro.revocation.coordinator.SlashingCoordinator.observe`
+        instead, which dedups cases, races commit-reveal, pumps
+        settlement on the simulator, and stamps the ``MemberRemoved``
+        timeline.  One coordinator per peer: repeat calls return the same
+        instance (its stats stay live).
+        """
+        from repro.revocation.coordinator import SlashingCoordinator
+
+        if self._slashing_coordinator is None:
+            coordinator = SlashingCoordinator(
+                self.peer_id, self.chain, self.contract, self.simulator
+            )
+            self._slashing_coordinator = coordinator
+            self.auto_slash = False
+
+            def observe(evidence: SpamEvidence) -> None:
+                if coordinator.observe(evidence) is not None:
+                    self.stats.slash_attempts += 1
+
+            self.on_spam(observe)
+        return self._slashing_coordinator
 
     @property
     def crypto_executor(self):

@@ -17,6 +17,7 @@ from repro.treesync.forest import (
 from repro.treesync.messages import (
     CHECKPOINT_TOPIC,
     DIGEST_TOPIC,
+    ShardRemoval,
     ShardRootDigest,
     ShardUpdate,
     TreeCheckpoint,
@@ -34,6 +35,7 @@ __all__ = [
     "CHECKPOINT_TOPIC",
     "DEFAULT_SHARD_DEPTH",
     "DIGEST_TOPIC",
+    "ShardRemoval",
     "ShardRootDigest",
     "ShardSyncManager",
     "ShardUpdate",

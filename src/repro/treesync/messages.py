@@ -1,11 +1,22 @@
 """Shard-scoped tree-sync announcements and their wire encoding.
 
-Three artefacts flow between peers (§III-C, sharded):
+Four artefacts flow between peers (§III-C, sharded):
 
 * :class:`ShardUpdate` — one membership event, tagged with its shard:
   carries the full pre-change path (for members of that shard and for
   flat/optimized-view consumers) plus the post-change shard and global
   roots;
+* :class:`ShardRemoval` — one member *deletion* (slash or withdraw),
+  compact by construction: the new leaf is the zero leaf by definition
+  and home-shard peers hold their shard materialised, so no path needs
+  to travel — just the slot index and the claimed post-removal roots the
+  local replay is cross-checked against.  A removal is a security event:
+  consumers collapse their accepted-root window to the post-removal root
+  so the removed member's stale witnesses stop validating immediately,
+  instead of surviving until the window ages out (§III-F economics).
+  It travels on *both* the shard topic and the digest topic (it is its
+  own O(1) digest — foreign peers must also learn that the event was a
+  removal, or their windows would stay open);
 * :class:`ShardRootDigest` — the O(1) projection of a :class:`ShardUpdate`
   that peers *outside* the shard consume: no path, just the new roots.
   This is the object whose small size and zero hash cost experiment E12
@@ -16,7 +27,12 @@ Three artefacts flow between peers (§III-C, sharded):
 
 Each type serialises to bytes so it can travel as a
 :class:`~repro.waku.message.WakuMessage` payload on the tree-sync content
-topics and be archived/queried like any other Waku traffic.
+topics and be archived/queried like any other Waku traffic.  Types
+sharing a topic (:class:`ShardUpdate`/:class:`ShardRemoval` on the shard
+topics, :class:`ShardRootDigest`/:class:`ShardRemoval` on the digest
+topic) are discriminated by their fixed wire sizes —
+:meth:`ShardRemoval.from_bytes` is strict about length, so decoding is
+unambiguous.
 """
 
 from __future__ import annotations
@@ -102,6 +118,79 @@ class ShardRootDigest:
         return cls(
             seq=seq,
             shard_id=shard_id,
+            new_shard_root=shard_root,
+            new_global_root=global_root,
+        )
+
+
+#: Fixed wire size of a :class:`ShardRemoval` (seq + shard + index header,
+#: removed leaf, shard root, global root).
+_REMOVAL_WIRE_BYTES = 20 + 3 * FIELD_BYTES
+
+
+@dataclass(frozen=True)
+class ShardRemoval:
+    """One member deletion, scoped to its shard — the revocation artefact.
+
+    ``index`` is the *global* leaf index whose slot was zeroed;
+    ``removed_leaf`` is the commitment that died there (home peers
+    cross-check it against their shard before zeroing, so a forged
+    removal cannot blank an arbitrary slot it does not know the content
+    of).  Carries no path: home-shard members replay the zero write on
+    their materialised shard and cross-check ``new_shard_root``; everyone
+    else records the roots in O(1), exactly like a digest — but, unlike
+    a digest, a removal also collapses the consumer's accepted-root
+    window (see :meth:`~repro.treesync.sync.ShardSyncManager.commit`).
+    """
+
+    seq: int
+    shard_id: int
+    index: int
+    removed_leaf: FieldElement
+    new_shard_root: FieldElement
+    new_global_root: FieldElement
+
+    def digest(self) -> "ShardRemoval":
+        """A removal is already O(1) — it is its own digest projection.
+
+        Returning ``self`` (rather than a :class:`ShardRootDigest`) is
+        deliberate: the digest feed must preserve removal semantics or
+        foreign peers would never collapse their root windows.
+        """
+        return self
+
+    def byte_size(self) -> int:
+        return _REMOVAL_WIRE_BYTES
+
+    def to_bytes(self) -> bytes:
+        return (
+            struct.pack(">QIQ", self.seq, self.shard_id, self.index)
+            + self.removed_leaf.to_bytes()
+            + self.new_shard_root.to_bytes()
+            + self.new_global_root.to_bytes()
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ShardRemoval":
+        # Strict length: ShardUpdate and ShardRootDigest share topics with
+        # this type, so an exact size check keeps decoding unambiguous.
+        if len(data) != _REMOVAL_WIRE_BYTES:
+            raise ProtocolError(
+                f"malformed ShardRemoval: expected {_REMOVAL_WIRE_BYTES} "
+                f"bytes, got {len(data)}"
+            )
+        try:
+            seq, shard_id, index = struct.unpack_from(">QIQ", data, 0)
+            removed_leaf, offset = decode_field(data, 20)
+            shard_root, offset = decode_field(data, offset)
+            global_root, _ = decode_field(data, offset)
+        except (struct.error, IndexError) as exc:
+            raise ProtocolError(f"malformed ShardRemoval: {exc}") from exc
+        return cls(
+            seq=seq,
+            shard_id=shard_id,
+            index=index,
+            removed_leaf=removed_leaf,
             new_shard_root=shard_root,
             new_global_root=global_root,
         )

@@ -42,6 +42,7 @@ from repro.treesync.forest import DEFAULT_SHARD_DEPTH, TopTree
 from repro.treesync.messages import (
     CHECKPOINT_TOPIC,
     DIGEST_TOPIC,
+    ShardRemoval,
     ShardRootDigest,
     ShardUpdate,
     TreeCheckpoint,
@@ -75,6 +76,9 @@ class TreeSyncStats:
     checkpoints_restored: int = 0
     snapshots_restored: int = 0
     bytes_consumed: int = 0
+    #: Member deletions folded into this view (home replay or foreign
+    #: digest recording) — the E15 revocation-propagation surface.
+    removals_applied: int = 0
 
 
 class ShardSyncManager:
@@ -132,17 +136,25 @@ class ShardSyncManager:
         self._announced_root: FieldElement | None = None
         self._recent_roots: deque[FieldElement] = deque(maxlen=root_window)
         self._recent_roots.append(self.top.root)
+        #: A removal was folded since the last successful commit: the
+        #: accepted-root window must collapse to the post-removal root
+        #: (stale witnesses crossing the dead leaf stop validating now).
+        self._collapse_window = False
         self.stats = TreeSyncStats()
 
     # -- event consumption -----------------------------------------------------
 
-    def apply(self, item: "ShardUpdate | ShardRootDigest") -> None:
+    def apply(self, item: "ShardUpdate | ShardRemoval | ShardRootDigest") -> None:
         """Fold one announced membership event into the local view.
 
         Events must arrive in contiguous ``seq`` order; replays are ignored
         and a gap raises :class:`TreeSyncGap` (fall back to
-        :meth:`sync_from_store`).  Home-shard events need the full
-        :class:`ShardUpdate`; foreign ones are O(1) root recordings.
+        :meth:`sync_from_store`).  Home-shard registrations need the full
+        :class:`ShardUpdate`; home-shard deletions arrive as the compact
+        :class:`ShardRemoval` (replayed as a zero write, cross-checked
+        the same way); foreign events of either kind are O(1) root
+        recordings — but a removal additionally schedules a root-window
+        collapse for the next :meth:`commit`.
         """
         if item.seq <= self.seq:
             return  # already applied (store replay overlapped with live feed)
@@ -160,12 +172,17 @@ class ShardSyncManager:
             and item.shard_id == self.home_shard
             and item.seq > self._snapshot_floor
         ):
-            if not isinstance(item, ShardUpdate):
+            if isinstance(item, ShardRemoval):
+                assert self.shard is not None
+                self._remove_home(item)
+            elif isinstance(item, ShardUpdate):
+                assert self.shard is not None
+                self._write_home(item)
+            else:
                 raise SyncError(
-                    "home-shard events need the full ShardUpdate, not a digest"
+                    "home-shard events need the full ShardUpdate or "
+                    "ShardRemoval, not a digest"
                 )
-            assert self.shard is not None
-            self._write_home(item)
             self._pending[self.home_shard] = self.shard.root
         else:
             digest = item.digest() if isinstance(item, ShardUpdate) else item
@@ -182,6 +199,10 @@ class ShardSyncManager:
                 )
             self._pending[digest.shard_id] = digest.new_shard_root
             self.stats.foreign_events += 1
+            if isinstance(item, ShardRemoval):
+                self.stats.removals_applied += 1
+        if isinstance(item, ShardRemoval):
+            self._collapse_window = True
         self.stats.bytes_consumed += item.byte_size()
         self.seq = item.seq
         self._announced_root = item.new_global_root
@@ -215,6 +236,44 @@ class ShardSyncManager:
             )
         self.stats.home_events += 1
 
+    def _remove_home(self, item: ShardRemoval) -> None:
+        """Replay one home-shard deletion (a zero write, no path needed).
+
+        The removal must name both an occupied slot and the commitment
+        that occupies it — a forged removal cannot blank a slot whose
+        content the forger does not know — and the post-removal shard
+        root is cross-checked exactly like a registration's.
+        """
+        assert self.home_shard is not None and self.shard is not None
+        if item.index >> self.shard_depth != self.home_shard:
+            raise SyncError(
+                f"removal index {item.index} is not in home shard "
+                f"{self.home_shard}"
+            )
+        local = item.index & (self.shard_capacity - 1)
+        old_leaf = self.shard.leaf(local)
+        if old_leaf == ZERO:
+            raise InconsistentTreeUpdate(
+                "removal targets an empty slot; every deletion zeroes an "
+                "occupied leaf"
+            )
+        if old_leaf != item.removed_leaf:
+            raise InconsistentTreeUpdate(
+                "removal names a different commitment than the slot holds"
+            )
+        self.shard.write_leaf(local, ZERO)
+        if self.shard.root != item.new_shard_root:
+            # Roll back before rejecting, as for a forged registration.
+            self.shard.write_leaf(local, old_leaf)
+            raise InconsistentTreeUpdate(
+                "announced shard root does not match the locally replayed shard"
+            )
+        self.stats.home_events += 1
+        self.stats.removals_applied += 1
+        # Local to the replay, not just to apply(): a removal replayed
+        # from the store archive must collapse the window too.
+        self._collapse_window = True
+
     # -- committing ------------------------------------------------------------
 
     @property
@@ -233,6 +292,13 @@ class ShardSyncManager:
         the view stays at its last good commit, and the peer should
         recover via :meth:`sync_from_store` (a later event or checkpoint
         for the poisoned shard supersedes the forged root).
+
+        If the committed span contained a :class:`ShardRemoval`, the
+        accepted-root window collapses to the post-removal root: proofs
+        over any tree that still held the removed member become
+        unacceptable immediately (the collapse is deferred to here — the
+        same place new roots enter the window — so a removal that fails
+        its cross-check never evicts good roots).
         """
         previous = {
             shard_id: self.top.leaf(shard_id) for shard_id in self._pending
@@ -244,10 +310,15 @@ class ShardSyncManager:
             for shard_id, value in previous.items():
                 self.top.set_leaf(shard_id, value)
             # _pending is kept: a genuine later recording can supersede it.
+            # _collapse_window is kept too: the removal still awaits its
+            # successful commit.
             raise InconsistentTreeUpdate(
                 "committed top-tree root does not match the announced global root"
             )
         self._pending.clear()
+        if self._collapse_window:
+            self._recent_roots.clear()
+            self._collapse_window = False
         if not self._recent_roots or self._recent_roots[-1] != root:
             self._recent_roots.append(root)
         self.stats.commits += 1
@@ -329,6 +400,15 @@ class ShardSyncManager:
                 self._pending[shard_id] = root
         if self.home_shard is not None and self.shard is not None:
             self._pending[self.home_shard] = self.shard.root
+        if checkpoint.seq > self.seq:
+            # The checkpoint covers events this view never saw one by
+            # one, so it cannot rule out removals inside the gap — and a
+            # removal inside the gap means every root currently in the
+            # window may still contain the removed member.  Collapse
+            # conservatively: a recovering peer's pre-outage window is
+            # exactly the surface a slashed member's stale witness would
+            # exploit.
+            self._collapse_window = True
         self.seq = checkpoint.seq
         self._announced_root = checkpoint.global_root
         self.stats.checkpoints_restored += 1
@@ -411,10 +491,18 @@ class ShardSyncManager:
             )
 
         def have_home(messages: list[WakuMessage]) -> None:
-            updates = []
+            updates: list[ShardUpdate | ShardRemoval] = []
             for message in messages:
+                # The shard topic carries registrations (ShardUpdate) and
+                # deletions (ShardRemoval); the removal's strict length
+                # check keeps the two decodes unambiguous.
                 try:
                     updates.append(ShardUpdate.from_bytes(message.payload))
+                    continue
+                except ProtocolError:
+                    pass
+                try:
+                    updates.append(ShardRemoval.from_bytes(message.payload))
                 except ProtocolError:
                     continue
             state["home"] = sorted(updates, key=lambda u: u.seq)
@@ -433,8 +521,18 @@ class ShardSyncManager:
             )
 
         def have_digests(messages: list[WakuMessage]) -> None:
-            digests = []
+            digests: list[ShardRootDigest | ShardRemoval] = []
             for message in messages:
+                # Removals travel the digest feed as themselves (their
+                # window-collapse semantics must survive projection); try
+                # the strict-length removal decode first — a removal
+                # payload would otherwise *mis*-decode as a digest, since
+                # ShardRootDigest ignores trailing bytes.
+                try:
+                    digests.append(ShardRemoval.from_bytes(message.payload))
+                    continue
+                except ProtocolError:
+                    pass
                 try:
                     digests.append(ShardRootDigest.from_bytes(message.payload))
                 except ProtocolError:
@@ -520,6 +618,7 @@ class ShardSyncManager:
                         dict(self._pending),
                         self._announced_root,
                         self._retired_hash_ops,
+                        self._collapse_window,
                     )
                     prior_stats = vars(self.stats).copy()
                     try:
@@ -538,6 +637,7 @@ class ShardSyncManager:
                             pending,
                             self._announced_root,
                             self._retired_hash_ops,
+                            self._collapse_window,
                         ) = prior
                         self._pending.clear()
                         self._pending.update(pending)
@@ -568,28 +668,31 @@ class ShardSyncManager:
     def _replay_archive(
         self,
         checkpoint: TreeCheckpoint | None,
-        home_updates: Sequence[ShardUpdate],
-        digests: Sequence[ShardRootDigest],
+        home_updates: "Sequence[ShardUpdate | ShardRemoval]",
+        digests: "Sequence[ShardRootDigest | ShardRemoval]",
     ) -> FieldElement:
         if checkpoint is not None and checkpoint.seq > self.seq:
             # Home history up to the checkpoint replays into the shard
             # (foreign events in that range are subsumed by the checkpoint).
             for update in home_updates:
                 if self.seq < update.seq <= checkpoint.seq:
-                    self._write_home(update)
+                    if isinstance(update, ShardRemoval):
+                        self._remove_home(update)
+                    else:
+                        self._write_home(update)
                     self.stats.bytes_consumed += update.byte_size()
             self.restore(checkpoint)
         return self._replay_deltas(home_updates, digests)
 
     def _replay_deltas(
         self,
-        home_updates: Sequence[ShardUpdate],
-        digests: Sequence[ShardRootDigest],
+        home_updates: "Sequence[ShardUpdate | ShardRemoval]",
+        digests: "Sequence[ShardRootDigest | ShardRemoval]",
     ) -> FieldElement:
         """Apply everything past the current frontier in contiguous seq
         order (full home updates take precedence over their digests),
         then commit — the shared tail of both recovery paths."""
-        merged: dict[int, ShardUpdate | ShardRootDigest] = {}
+        merged: dict[int, ShardUpdate | ShardRemoval | ShardRootDigest] = {}
         for digest in digests:
             merged[digest.seq] = digest
         for update in home_updates:
@@ -605,8 +708,8 @@ class ShardSyncManager:
         self,
         checkpoint: TreeCheckpoint,
         snapshot: object,
-        home_updates: Sequence[ShardUpdate],
-        digests: Sequence[ShardRootDigest],
+        home_updates: "Sequence[ShardUpdate | ShardRemoval]",
+        digests: "Sequence[ShardRootDigest | ShardRemoval]",
         *,
         initial_seq: int | None = None,
     ) -> MerkleTree:
@@ -690,8 +793,8 @@ class ShardSyncManager:
         checkpoint: TreeCheckpoint,
         snapshot: object,
         rebuilt: MerkleTree,
-        home_updates: Sequence[ShardUpdate],
-        digests: Sequence[ShardRootDigest],
+        home_updates: "Sequence[ShardUpdate | ShardRemoval]",
+        digests: "Sequence[ShardRootDigest | ShardRemoval]",
     ) -> FieldElement:
         """Install an authenticated snapshot and replay the deltas.
 
@@ -715,6 +818,11 @@ class ShardSyncManager:
         self._pending[self.home_shard] = roots.get(
             self.home_shard, self.empty_shard_root
         )
+        # Same conservative rule as restore(): the snapshot+checkpoint
+        # span was not observed event by event, so the pre-adoption
+        # window cannot be vouched removal-free.
+        if checkpoint.seq > self.seq:
+            self._collapse_window = True
         self.seq = checkpoint.seq
         self._announced_root = checkpoint.global_root
         # Post-checkpoint events replay as usual; home events at or below
@@ -772,10 +880,11 @@ class TreeSyncPublisher:
         self._timestamp = timestamp or (lambda: 0.0)
         self._since_checkpoint = 0
         self.updates_published = 0
+        self.removals_published = 0
         self.checkpoints_published = 0
         manager.on_shard_update(self._on_update)
 
-    def _on_update(self, update: ShardUpdate) -> None:
+    def _on_update(self, update: "ShardUpdate | ShardRemoval") -> None:
         now = self._timestamp()
         self.publish(
             WakuMessage(
@@ -784,6 +893,9 @@ class TreeSyncPublisher:
                 timestamp=now,
             )
         )
+        # A ShardRemoval is its own digest (same bytes on both topics):
+        # projecting it down to a plain ShardRootDigest would strip the
+        # removal semantics foreign peers need to collapse their windows.
         self.publish(
             WakuMessage(
                 payload=update.digest().to_bytes(),
@@ -792,6 +904,8 @@ class TreeSyncPublisher:
             )
         )
         self.updates_published += 1
+        if isinstance(update, ShardRemoval):
+            self.removals_published += 1
         self._since_checkpoint += 1
         if self._since_checkpoint >= self.checkpoint_interval:
             self.publish_checkpoint()

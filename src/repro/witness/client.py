@@ -34,7 +34,8 @@ from repro.exec.executor import CryptoExecutor, Priority
 from repro.net.request import RequestDispatcher, RequestFailure
 from repro.net.simulator import Simulator
 from repro.net.transport import Network
-from repro.crypto.field import FieldElement
+from repro.crypto.field import FieldElement, ZERO
+from repro.treesync.messages import ShardRemoval, ShardUpdate
 from repro.treesync.witness import fold_path
 from repro.witness.messages import (
     WITNESS_PROTOCOL,
@@ -108,6 +109,12 @@ class WitnessCacheStats:
     #: dispatcher's ``RequestStats.rejected`` additionally counts
     #: malformed/not-found replies).
     rejected: int = 0
+    #: ShardRemovals observed for a slot this client tracks as its own
+    #: (the expected-leaf pin matched the removed commitment).
+    revocations_observed: int = 0
+    #: Witness acquisitions refused locally because the slot was revoked
+    #: — no provider round trips are spent on a leaf known to be dead.
+    revoked_fast_fails: int = 0
 
 
 @dataclass
@@ -192,6 +199,11 @@ class WitnessClient:
         #: Expected leaf per index (a member's own commitment), re-applied
         #: on background refreshes of that index.
         self._expected_leaf: dict[int, FieldElement] = {}
+        #: Leaf slots observed deleted (a ShardRemoval matched this
+        #: client's expected-leaf pin): acquisitions fail fast instead of
+        #: walking the provider list for a witness no honest server can
+        #: produce, and background refreshes skip them.
+        self._revoked: set[int] = set()
         #: Bumped on every tree update: a fetch that was in flight when
         #: the tree moved must not repopulate the cache with a pre-update
         #: path (it may still *deliver* — the path folds to a root inside
@@ -220,7 +232,15 @@ class WitnessClient:
         """Deliver a verified witness for ``index`` — cached (O(1), the
         publish path) or fetched from the provider set.  ``expected_leaf``
         additionally pins the path's leaf (a member fetching its own slot
-        passes its commitment)."""
+        passes its commitment).
+
+        A slot observed revoked (:meth:`on_shard_event` saw a
+        :class:`~repro.treesync.messages.ShardRemoval` matching the pin)
+        fails fast: no honest provider can serve a path for the pinned
+        commitment any more, so walking the provider list would only burn
+        timeouts before failing anyway."""
+        if self._fail_if_revoked(index, on_error):
+            return
         cached = self.cache.get(index)
         if cached is not None:
             # Freshness safety net: even if no one wired on_tree_update, a
@@ -283,6 +303,9 @@ class WitnessClient:
         *,
         expected_leaf: FieldElement | None = None,
     ) -> None:
+        if self._fail_if_revoked(index, on_error):
+            # Covers prefetch and refreshes racing a revocation.
+            return
         if expected_leaf is not None:
             self._expected_leaf[index] = expected_leaf
         else:
@@ -335,11 +358,61 @@ class WitnessClient:
 
     # -- invalidation & background refresh --------------------------------------
 
+    def on_shard_event(self, event: object = None) -> None:
+        """Removal-aware feed hook: prefer wiring this over
+        :meth:`on_tree_update` (``manager.on_shard_update(client.on_shard_event)``).
+
+        Every tree change invalidates every cached witness — a single
+        leaf write perturbs each other leaf's path at their common-
+        ancestor level, and the fold lands on the old root either way —
+        so the generic invalidate-and-refresh runs for any event.  A
+        :class:`~repro.treesync.messages.ShardRemoval` does more:
+
+        * if the removed slot carries this client's expected-leaf pin
+          (the member's *own* commitment died there — it was slashed or
+          withdrew), the index is marked revoked: the pin is dropped, no
+          background refresh is scheduled for it, and future acquisitions
+          fail fast instead of hammering providers for a witness no
+          honest server can produce;
+        * an update later re-occupying a revoked slot (possible in
+          registries that reuse freed slots) lifts the revocation.
+        """
+        if isinstance(event, ShardRemoval):
+            pinned = self._expected_leaf.get(event.index)
+            if pinned is not None and pinned == event.removed_leaf:
+                self._revoked.add(event.index)
+                self._expected_leaf.pop(event.index, None)
+                self.cache.stats.revocations_observed += 1
+        elif isinstance(event, ShardUpdate):
+            if event.update.new_leaf != ZERO:
+                self._revoked.discard(event.update.index)
+        self.on_tree_update(event)
+
+    def revoked_indices(self) -> frozenset[int]:
+        """Slots this client has observed deleted (its own pins only)."""
+        return frozenset(self._revoked)
+
+    def _fail_if_revoked(
+        self,
+        index: int,
+        on_error: Callable[[RequestFailure], None] | None,
+    ) -> bool:
+        """Shared fast-fail for acquisitions of a revoked slot."""
+        if index not in self._revoked:
+            return False
+        self.cache.stats.revoked_fast_fails += 1
+        if on_error is not None:
+            on_error(
+                RequestFailure(reason=f"leaf {index} was revoked (member removed)")
+            )
+        return True
+
     def on_tree_update(self, _event: object = None) -> None:
         """Tree moved: drop every cached witness and refresh in background.
 
-        Wire this to the view's update feed (e.g.
-        ``manager.on_shard_update(client.on_tree_update)``).  Refresh jobs
+        Wire this (or the removal-aware :meth:`on_shard_event`) to the
+        view's update feed (e.g.
+        ``manager.on_shard_update(client.on_shard_event)``).  Refresh jobs
         ride the executor's BACKGROUND class, the weakest priority — they
         only run on lanes relay verdicts and service traffic left idle.
         With no executor the refresh happens immediately (a pure light
@@ -351,6 +424,12 @@ class WitnessClient:
             self._schedule_refresh(index)
 
     def _schedule_refresh(self, index: int) -> None:
+        if index in self._revoked:
+            # The slot is dead; a refresh could only fetch a zero-leaf
+            # path nobody here can publish with.  BACKGROUND capacity is
+            # better spent on the survivors.
+            return
+
         def refresh(_result: object = None) -> None:
             self.cache.stats.refreshes += 1
             if self.validator_stats is not None:

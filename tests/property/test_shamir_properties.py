@@ -66,3 +66,34 @@ def test_wrong_slope_does_not_recover(sk, a1, a2, x1, x2):
     recovered = recover_secret(s1, s2)
     offset = x1 * x2 * (a1 - a2) / (x2 - x1)
     assert recovered == sk + offset
+
+
+@given(field_values, field_values, field_values, field_values)
+def test_recover_secret_is_order_independent(sk, a1, x1, x2):
+    # The slashing race: whichever routing peer pairs the two shares —
+    # and in whichever order its nullifier map yielded them — the same
+    # spammer key falls out.
+    if x1 == x2:
+        return
+    s1 = rln_share(sk, a1, x1)
+    s2 = rln_share(sk, a1, x2)
+    assert recover_secret(s1, s2) == recover_secret(s2, s1) == sk
+
+
+@given(field_values, field_values, field_values, field_values)
+def test_recover_secret_round_trip_over_arbitrary_share_pairs(y1, y2, x1, x2):
+    # Any two distinct-x points determine one line; recover_secret must
+    # return its intercept — cross-validated against the generic Lagrange
+    # reconstruction, not just against points we built from a known line.
+    if x1 == x2:
+        return
+    from repro.crypto.shamir import Share
+
+    s1 = Share(x=x1, y=y1)
+    s2 = Share(x=x2, y=y2)
+    intercept = recover_secret(s1, s2)
+    assert intercept == reconstruct_secret([s1, s2])
+    slope = recover_slope(s1, s2)
+    # Round trip: re-evaluating the recovered line reproduces both shares.
+    assert rln_share(intercept, slope, x1) == s1
+    assert rln_share(intercept, slope, x2) == s2

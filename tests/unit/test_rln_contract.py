@@ -315,3 +315,68 @@ class TestIndexStability:
             members[3].pk.value,
         ]
         assert contract.index_of(members[3].pk) == 3
+
+
+class TestUnifiedRemovalEvent:
+    """Both removal paths emit one ``MemberRemoved``; one listener suffices."""
+
+    def test_slash_emits_member_removed(self, env):
+        chain, contract = env
+        spammer = Identity.from_secret(0xBAD)
+        register(chain, contract, "alice", spammer)
+        slash(chain, contract, "slasher", spammer.sk)
+        removed = chain.events(contract=contract.address, name="MemberRemoved")
+        assert removed[0].data == {
+            "index": 0,
+            "pk": spammer.pk.value,
+            "cause": "slash",
+        }
+
+    def test_withdraw_emits_member_removed(self, env):
+        chain, contract = env
+        identity = Identity.from_secret(0x77)
+        register(chain, contract, "alice", identity)
+        chain.send_transaction(
+            "alice", contract.address, "withdraw", {"pk": identity.pk.value}
+        )
+        chain.mine_block()
+        removed = chain.events(contract=contract.address, name="MemberRemoved")
+        assert removed[0].data == {
+            "index": 0,
+            "pk": identity.pk.value,
+            "cause": "withdraw",
+        }
+
+    def test_delayed_withdrawal_emits_at_removal_not_payout(self):
+        chain = Blockchain(block_interval=12.0)
+        contract = RLNMembershipContract(deposit=1 * WEI, withdrawal_delay_blocks=10)
+        chain.deploy(contract)
+        chain.fund("alice", 50 * WEI)
+        identity = Identity.from_secret(0x88)
+        register(chain, contract, "alice", identity)
+        chain.send_transaction(
+            "alice", contract.address, "withdraw", {"pk": identity.pk.value}
+        )
+        chain.mine_block()
+        # The member is gone from the list now; revocation must not wait
+        # for the exit queue to pay out.
+        removed = chain.events(contract=contract.address, name="MemberRemoved")
+        assert len(removed) == 1
+        assert removed[0].data["cause"] == "withdraw"
+        assert not contract.is_member(identity.pk)
+
+    def test_one_event_per_removal(self, env):
+        chain, contract = env
+        members = [Identity.from_secret(200 + i) for i in range(3)]
+        for member in members:
+            register(chain, contract, "alice", member)
+        slash(chain, contract, "slasher", members[0].sk)
+        chain.send_transaction(
+            "alice", contract.address, "withdraw", {"pk": members[2].pk.value}
+        )
+        chain.mine_block()
+        removed = chain.events(contract=contract.address, name="MemberRemoved")
+        assert [(e.data["index"], e.data["cause"]) for e in removed] == [
+            (0, "slash"),
+            (2, "withdraw"),
+        ]

@@ -10,8 +10,14 @@ from repro.core.membership import GroupManager
 from repro.core.validator import BundleValidator, ValidationOutcome
 from repro.crypto.commitments import commit
 from repro.crypto.field import FieldElement
-from repro.errors import InconsistentTreeUpdate, MerkleError, SyncError, TreeSyncGap
-from repro.treesync import ShardSyncManager, ShardUpdate
+from repro.errors import (
+    InconsistentTreeUpdate,
+    MerkleError,
+    ProtocolError,
+    SyncError,
+    TreeSyncGap,
+)
+from repro.treesync import ShardRemoval, ShardSyncManager, ShardUpdate
 from tests.conftest import TEST_DEPTH
 
 SHARD_DEPTH = 3  # 8-member shards under the 8-level test tree
@@ -464,3 +470,166 @@ class TestLightView:
         register(chain, contract, 0xDD0)
         assert view.is_acceptable_root(manager.root)
         assert not view.is_acceptable_root(FieldElement(0xBADBAD))
+
+
+class TestShardRemoval:
+    """The compact removal artefact: wire shape, replay, window collapse."""
+
+    def _grow(self, chain, contract, manager, count, base=0x2000):
+        return [register(chain, contract, base + i) for i in range(count)]
+
+    def test_removal_announced_for_deletion(self, group):
+        chain, contract, manager = group
+        events = []
+        manager.on_shard_update(events.append)
+        members = self._grow(chain, contract, manager, 3)
+        slash(chain, contract, members[1])
+        removal = events[-1]
+        assert isinstance(removal, ShardRemoval)
+        assert removal.index == 1
+        assert removal.removed_leaf == members[1].pk
+        assert removal.new_global_root == manager.root
+        assert removal.new_shard_root == manager.shard_root(0)
+
+    def test_wire_round_trip_and_strict_length(self, group):
+        chain, contract, manager = group
+        events = []
+        manager.on_shard_update(events.append)
+        members = self._grow(chain, contract, manager, 2)
+        slash(chain, contract, members[0])
+        removal = events[-1]
+        encoded = removal.to_bytes()
+        assert len(encoded) == removal.byte_size()
+        assert ShardRemoval.from_bytes(encoded) == removal
+        # Strict length: a digest payload or a truncated removal must not
+        # mis-decode (removals share topics with updates and digests).
+        with pytest.raises(ProtocolError):
+            ShardRemoval.from_bytes(encoded[:-1])
+        with pytest.raises(ProtocolError):
+            ShardRemoval.from_bytes(events[0].digest().to_bytes())
+        # And a removal is its own digest — same bytes on the digest feed.
+        assert removal.digest() is removal
+
+    def test_home_removal_replays_and_counts(self, group):
+        chain, contract, manager = group
+        view = ShardSyncManager(home_shard=0, depth=TEST_DEPTH, shard_depth=SHARD_DEPTH)
+        manager.on_shard_update(view.apply)
+        members = self._grow(chain, contract, manager, 3)
+        slash(chain, contract, members[2])
+        assert view.root == manager.root
+        assert view.shard.leaf(2).value == 0
+        assert view.stats.removals_applied == 1
+        assert view.stats.home_events == 4
+
+    def test_foreign_removal_is_o1_and_collapses_window(self, group):
+        chain, contract, manager = group
+        # Home shard 1: every event below lands in shard 0 — all foreign.
+        view = ShardSyncManager(home_shard=1, depth=TEST_DEPTH, shard_depth=SHARD_DEPTH)
+        manager.on_shard_update(view.apply)
+        members = self._grow(chain, contract, manager, 4)
+        stale_roots = []
+        for _ in range(2):
+            stale_roots.append(view.commit())
+        hash_ops_before = view.hash_ops
+        slash(chain, contract, members[1])
+        assert view.hash_ops == hash_ops_before  # O(1) until commit
+        assert view.stats.removals_applied == 1
+        new_root = view.commit()
+        assert new_root == manager.root
+        # Window collapse: only the post-removal root survives.
+        assert view.recent_roots() == [new_root]
+        for root in stale_roots:
+            assert not view.is_acceptable_root(root)
+
+    def test_light_view_collapses_window_too(self, group):
+        chain, contract, manager = group
+        light = ShardSyncManager(
+            home_shard=None, depth=TEST_DEPTH, shard_depth=SHARD_DEPTH
+        )
+        manager.on_shard_update(lambda e: light.apply(e.digest()))
+        members = self._grow(chain, contract, manager, 3)
+        stale = light.commit()
+        slash(chain, contract, members[0])
+        assert light.commit() == manager.root
+        assert not light.is_acceptable_root(stale)
+        assert light.recent_roots() == [manager.root]
+        assert light.stats.removals_applied == 1
+
+    def test_forged_removal_wrong_leaf_rejected_and_rolled_back(self, group):
+        chain, contract, manager = group
+        view = ShardSyncManager(home_shard=0, depth=TEST_DEPTH, shard_depth=SHARD_DEPTH)
+        events = []
+        manager.on_shard_update(events.append)
+        manager.on_shard_update(view.apply)
+        members = self._grow(chain, contract, manager, 3)
+        good_root = view.commit()
+        forged = ShardRemoval(
+            seq=view.seq + 1,
+            shard_id=0,
+            index=1,
+            removed_leaf=FieldElement(0xBAD),  # not what slot 1 holds
+            new_shard_root=FieldElement(0xBAD),
+            new_global_root=FieldElement(0xBAD),
+        )
+        with pytest.raises(InconsistentTreeUpdate):
+            view.apply(forged)
+        assert view.shard.leaf(1) == members[1].pk  # untouched
+        assert view.commit() == good_root
+        # The genuine removal for that seq still applies cleanly.
+        slash(chain, contract, members[1])
+        assert view.root == manager.root
+
+    def test_forged_removal_of_empty_slot_rejected(self, group):
+        chain, contract, manager = group
+        view = ShardSyncManager(home_shard=0, depth=TEST_DEPTH, shard_depth=SHARD_DEPTH)
+        manager.on_shard_update(view.apply)
+        members = self._grow(chain, contract, manager, 2)
+        slash(chain, contract, members[0])
+        forged = ShardRemoval(
+            seq=view.seq + 1,
+            shard_id=0,
+            index=0,  # already zeroed
+            removed_leaf=members[0].pk,
+            new_shard_root=FieldElement(0xBAD),
+            new_global_root=FieldElement(0xBAD),
+        )
+        with pytest.raises(InconsistentTreeUpdate):
+            view.apply(forged)
+
+    def test_failed_window_collapse_defers_until_good_commit(self, group):
+        """A removal whose commit cross-check fails must not evict good
+        roots; the collapse waits for the first *successful* commit."""
+        chain, contract, manager = group
+        # Home shard 1: every event below lands in shard 0 — all foreign.
+        view = ShardSyncManager(home_shard=1, depth=TEST_DEPTH, shard_depth=SHARD_DEPTH)
+        events = []
+        manager.on_shard_update(events.append)
+        members = self._grow(chain, contract, manager, 3)
+        for event in events:
+            view.apply(event.digest())
+        good_root = view.commit()
+        # The removal happens on-chain, but the announcement this view
+        # receives was tampered with: the claimed global root is forged.
+        slash(chain, contract, members[0])
+        genuine = events[-1]
+        assert isinstance(genuine, ShardRemoval)
+        forged = ShardRemoval(
+            seq=genuine.seq,
+            shard_id=genuine.shard_id,
+            index=genuine.index,
+            removed_leaf=genuine.removed_leaf,
+            new_shard_root=genuine.new_shard_root,
+            new_global_root=FieldElement(0xBAD),
+        )
+        view.apply(forged)
+        with pytest.raises(InconsistentTreeUpdate):
+            view.commit()
+        # Collapse deferred: the pre-removal window is untouched.
+        assert good_root in view.recent_roots()
+        # Recovery (the store path's tail): restore a checkpoint cut
+        # after the removal; the first clean commit applies the held-back
+        # collapse.
+        view.restore(manager.checkpoint())
+        assert view.commit() == manager.root
+        assert view.recent_roots() == [manager.root]
+        assert not view.is_acceptable_root(good_root)

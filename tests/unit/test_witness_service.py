@@ -402,3 +402,88 @@ class TestLightDistributedManager:
             light.root
         with pytest.raises(ProtocolError):
             DistributedGroupManager("p", FakeDHT(), member_mode="bogus")
+
+
+class TestRevocationHandling:
+    """ShardRemoval-aware invalidation: dead slots fail fast, the rest
+    refresh on BACKGROUND lanes as before."""
+
+    def slash(self, env, member):
+        _, _, _, manager, _ = env
+        chain, contract = manager.chain, manager.contract
+        from repro.crypto.commitments import commit as make_commitment
+
+        commitment, opening = make_commitment(
+            member.sk.to_bytes(), b"funder"
+        )
+        chain.send_transaction(
+            "funder", contract.address, "slash_commit",
+            {"digest": commitment.digest},
+        )
+        chain.mine_block()
+        chain.send_transaction(
+            "funder", contract.address, "slash_reveal",
+            {"sk": member.sk.value, "nonce": opening.nonce},
+        )
+        chain.mine_block()
+
+    def test_own_slot_removal_marks_revoked_and_fails_fast(self, env):
+        sim, network, names, manager, members = env
+        WitnessService(names[0], manager, network)
+        client = make_client(env)
+        manager.on_shard_update(client.on_shard_event)
+        victim_index = 5
+        got = []
+        client.witness(
+            victim_index, got.append, expected_leaf=members[victim_index].pk
+        )
+        sim.run(sim.now + 5.0)
+        assert got
+        attempts_before = client.dispatcher.stats.attempts
+        self.slash(env, members[victim_index])
+        assert client.revoked_indices() == frozenset({victim_index})
+        assert client.cache.stats.revocations_observed == 1
+        failures = []
+        client.witness(victim_index, got.append, failures.append)
+        sim.run(sim.now + 5.0)
+        # Failed locally, without a single provider round trip.
+        assert len(failures) == 1
+        assert "revoked" in failures[0].reason
+        assert client.dispatcher.stats.attempts == attempts_before
+        assert client.cache.stats.revoked_fast_fails == 1
+
+    def test_survivors_refresh_revoked_slot_does_not(self, env):
+        sim, network, names, manager, members = env
+        WitnessService(names[0], manager, network)
+        client = make_client(env)
+        manager.on_shard_update(client.on_shard_event)
+        survivor, victim = 2, 3
+        got = []
+        client.witness(survivor, got.append, expected_leaf=members[survivor].pk)
+        client.witness(victim, got.append, expected_leaf=members[victim].pk)
+        sim.run(sim.now + 5.0)
+        assert len(got) == 2
+        self.slash(env, members[victim])
+        sim.run(sim.now + 5.0)
+        # The survivor's witness was re-fetched against the post-removal
+        # tree and folds to the *current* root; the victim's was not.
+        assert client.cache.get(survivor) is not None
+        assert client.cache.get(victim) is None
+        assert client.cache.root_of(survivor) == manager.root
+        # A warm post-removal publish path for the survivor: cache hit.
+        hits_before = client.cache.stats.hits
+        client.witness(survivor, got.append, expected_leaf=members[survivor].pk)
+        assert client.cache.stats.hits == hits_before + 1
+
+    def test_foreign_removal_does_not_revoke_other_slots(self, env):
+        sim, network, names, manager, members = env
+        WitnessService(names[0], manager, network)
+        client = make_client(env)
+        manager.on_shard_update(client.on_shard_event)
+        client.witness(7, lambda p: None, expected_leaf=members[7].pk)
+        sim.run(sim.now + 5.0)
+        self.slash(env, members[1])  # someone else's slot
+        assert client.revoked_indices() == frozenset()
+        # The cache was still invalidated (every path crossed the change).
+        sim.run(sim.now + 5.0)
+        assert client.cache.stats.invalidations >= 1
