@@ -29,7 +29,7 @@ from dataclasses import replace
 
 import pytest
 
-from repro.analysis.reporting import ExperimentReport, format_seconds
+from repro.analysis.reporting import ExperimentReport, format_seconds, summarize
 from repro.chain.blockchain import Blockchain, WEI
 from repro.chain.rln_contract import RLNMembershipContract
 from repro.core.config import RLNConfig
@@ -41,6 +41,7 @@ from repro.gossipsub.router import ValidationResult
 from repro.net.simulator import Simulator
 from repro.pipeline.batch_verifier import BatchVerifier
 from repro.pipeline.pipeline import PipelineConfig, ValidationPipeline
+from repro.telemetry import Telemetry
 from repro.testing import RLN_TEST_EPOCH, mint_bundle, register_member
 from repro.zksnark.groth16 import Proof
 from repro.zksnark.prover import NativeProver
@@ -85,9 +86,16 @@ class Env:
                 )
             self.flood.append((i, message))
 
-    def pipeline(self, simulator: Simulator, config: PipelineConfig):
+    def pipeline(self, simulator: Simulator, config: PipelineConfig, telemetry=None):
         validator = BundleValidator(self.config, self.prover, self.manager)
-        return ValidationPipeline(validator, self.prover, simulator, config)
+        return ValidationPipeline(
+            validator,
+            self.prover,
+            simulator,
+            config,
+            telemetry=telemetry,
+            peer_id="e13-relay",
+        )
 
 
 @pytest.fixture(scope="module")
@@ -103,17 +111,19 @@ class ArmResult:
         self.occupancy = 0.0
         self.queue_delay_max = 0.0
 
+    # Summaries route through the shared analysis helper — one percentile
+    # definition for every benchmark (repro.analysis.reporting.summarize).
     @property
     def max_callback(self) -> float:
-        return max(self.callback_inline)
+        return summarize(self.callback_inline).maximum
 
     @property
     def mean_callback(self) -> float:
-        return sum(self.callback_inline) / len(self.callback_inline)
+        return summarize(self.callback_inline).mean
 
     @property
     def max_verdict_latency(self) -> float:
-        return max(self.verdict_latency)
+        return summarize(self.verdict_latency).maximum
 
     def totals(self) -> tuple[int, int]:
         accepted = sum(1 for a in self.actions if a is ValidationResult.ACCEPT)
@@ -121,12 +131,13 @@ class ArmResult:
         return accepted, rejected
 
 
-def run_arm(env: Env, workers: int) -> ArmResult:
+def run_arm(env: Env, workers: int, telemetry=None) -> ArmResult:
     """Drive the fixed flood through a fresh pipeline at ``workers`` lanes."""
     simulator = Simulator()
     pipeline = env.pipeline(
         simulator,
         PipelineConfig(workers=workers, batch_size=BATCH, batch_deadline=0.04),
+        telemetry,
     )
     result = ArmResult()
     slots: dict[int, ValidationResult] = {}
@@ -164,7 +175,7 @@ def run_arm(env: Env, workers: int) -> ArmResult:
     return result
 
 
-def test_worker_lanes_unstall_the_relay_callback(env, report_sink, benchmark):
+def test_worker_lanes_unstall_the_relay_callback(env, report_sink, snapshot_sink, benchmark):
     report = ExperimentReport(
         experiment="E13",
         claim="worker lanes: relay callbacks stop paying for pairing work "
@@ -209,6 +220,15 @@ def test_worker_lanes_unstall_the_relay_callback(env, report_sink, benchmark):
     # More lanes drain the flood's queueing delay monotonically-ish; at
     # least the extremes must order correctly.
     assert arms[8].queue_delay_max <= arms[1].queue_delay_max
+
+    # Instrumented re-run of the 4-lane arm: telemetry must not move a
+    # single modeled figure, and its snapshot ships as a CI artifact.
+    telemetry = Telemetry()
+    traced = run_arm(env, 4, telemetry)
+    assert traced.totals() == arms[4].totals()
+    assert traced.callback_inline == arms[4].callback_inline
+    assert traced.verdict_latency == arms[4].verdict_latency
+    snapshot_sink("E13", telemetry.snapshot())
     report.add_note(
         "callback latency is modeled inline crypto time from the shared "
         f"cost model ({format_seconds(DEFAULT_COST_MODEL.seconds_per_pairing)}"

@@ -47,6 +47,7 @@ from repro.crypto.merkle import MerkleTree
 from repro.crypto.shamir import Share
 from repro.net.simulator import Simulator
 from repro.revocation import RevocationTracker, SlashingCoordinator
+from repro.telemetry import Telemetry
 from repro.treesync import ShardRemoval, ShardSyncManager, ShardedMerkleForest, ShardUpdate
 from repro.waku.message import WakuMessage
 from repro.zksnark.rln_circuit import RLNPublicInputs, RLNWitness
@@ -72,7 +73,7 @@ def cheap_hash(left: FieldElement, right: FieldElement) -> FieldElement:
 
 
 @pytest.mark.parametrize("backend", ("flat", "sharded"))
-def test_end_to_end_exclusion(report_sink, backend):
+def test_end_to_end_exclusion(report_sink, snapshot_sink, backend):
     config = RLNConfig(
         epoch_length=30.0,
         max_epoch_gap=2,
@@ -80,8 +81,14 @@ def test_end_to_end_exclusion(report_sink, backend):
         tree_backend=backend,
         shard_depth=3,
     )
+    telemetry = Telemetry()
     dep = RLNDeployment.create(
-        peer_count=10, degree=4, seed=15, config=config, auto_slash=False
+        peer_count=10,
+        degree=4,
+        seed=15,
+        config=config,
+        auto_slash=False,
+        telemetry=telemetry,
     )
     anchor = dep.peer("peer-000")
     shard_view = ShardSyncManager(home_shard=0, depth=8, shard_depth=3)
@@ -94,7 +101,7 @@ def test_end_to_end_exclusion(report_sink, backend):
     spammer = dep.peer("peer-009")
     observers = sorted(dep.network.neighbors(spammer.peer_id))[:3]
     coordinators = {name: dep.peer(name).slashing_coordinator() for name in observers}
-    tracker = RevocationTracker(dep.simulator, poll_interval=0.1)
+    tracker = RevocationTracker(dep.simulator, poll_interval=0.1, telemetry=telemetry)
     for peer in dep.peers.values():
         peer.on_spam(tracker.spam_detected)
     for coordinator in coordinators.values():
@@ -198,6 +205,13 @@ def test_end_to_end_exclusion(report_sink, backend):
     assert summary["chain_latency"] <= 3 * dep.chain.block_interval
     assert summary["propagation_latency"] <= 1.0
 
+    # The same run, seen through the registry: the revocation trace spans
+    # land on the shared histograms and ship as a CI artifact.
+    snapshot = telemetry.snapshot()
+    assert snapshot.value("slashing_races_total", peer=winner.account, outcome="won") == 1
+    assert snapshot.value("traces_finished_total", kind="revocation-network") == 1
+    snapshot_sink(f"E15-{backend}", snapshot)
+
 
 # ---------------------------------------------------------------------------
 # Arm 2 — propagation cost at scale (structure over a cheap hasher)
@@ -280,8 +294,10 @@ def test_revocation_propagation_at_scale(report_sink, members):
     per_entry = log.storage_bytes() / sample
     window_epochs = 2
     map_bytes_at_scale = per_entry * members * window_epochs
+    # Mirror exactly like BundleValidator.collect(): the log's counters
+    # are authoritative, the stats object is a report-time view.
     stats = ValidatorStats(
-        nullifiers_pruned=0,
+        nullifiers_pruned=log.pruned_total,
         nullifier_entries=log.entry_count(),
         nullifier_peak_entries=log.peak_entries,
     )

@@ -11,6 +11,8 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
+from repro.analysis.reporting import percentile
+
 
 @dataclass(frozen=True)
 class SpamContainment:
@@ -84,22 +86,10 @@ class LatencySummary:
         return cls(
             count=len(ordered),
             mean=sum(ordered) / len(ordered),
-            p50=_quantile(ordered, 0.5),
-            p95=_quantile(ordered, 0.95),
+            p50=percentile(ordered, 0.5, presorted=True),
+            p95=percentile(ordered, 0.95, presorted=True),
             maximum=ordered[-1],
         )
-
-
-def _quantile(ordered: Sequence[float], q: float) -> float:
-    if not ordered:
-        return 0.0
-    index = q * (len(ordered) - 1)
-    low = int(math.floor(index))
-    high = int(math.ceil(index))
-    if low == high:
-        return ordered[low]
-    frac = index - low
-    return ordered[low] * (1 - frac) + ordered[high] * frac
 
 
 class DeliveryTracker:

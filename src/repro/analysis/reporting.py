@@ -8,8 +8,59 @@ log.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any, Iterable, Sequence
+
+
+def percentile(samples: Sequence[float], q: float, *, presorted: bool = False) -> float:
+    """Exact linear-interpolated quantile; 0.0 for an empty sequence.
+
+    The one shared definition every benchmark and the telemetry
+    histograms use (E13/E14/E15 used to hand-roll identical copies), so
+    a "p99" printed anywhere in the harness always means the same thing:
+    the linear interpolation between the floor/ceil order statistics at
+    rank ``q * (n - 1)``.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if not samples:
+        return 0.0
+    ordered = samples if presorted else sorted(samples)
+    index = q * (len(ordered) - 1)
+    low = int(math.floor(index))
+    high = int(math.ceil(index))
+    if low == high:
+        return ordered[low]
+    frac = index - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """The standard latency summary every benchmark table prints."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    maximum: float
+
+
+def summarize(samples: Iterable[float]) -> SummaryStats:
+    """Shared mean/p50/p90/p99/max summary (zeros for an empty stream)."""
+    ordered = sorted(samples)
+    if not ordered:
+        return SummaryStats(count=0, mean=0.0, p50=0.0, p90=0.0, p99=0.0, maximum=0.0)
+    return SummaryStats(
+        count=len(ordered),
+        mean=sum(ordered) / len(ordered),
+        p50=percentile(ordered, 0.50, presorted=True),
+        p90=percentile(ordered, 0.90, presorted=True),
+        p99=percentile(ordered, 0.99, presorted=True),
+        maximum=ordered[-1],
+    )
 
 
 def format_table(

@@ -70,6 +70,7 @@ class RLNDeployment:
         auto_slash: bool = True,
         pipeline_config: PipelineConfig | None = None,
         start: bool = True,
+        telemetry=None,
     ) -> "RLNDeployment":
         """Build the whole stack; peers are started but not yet registered."""
         config = config or RLNConfig()
@@ -115,6 +116,7 @@ class RLNDeployment:
                 auto_slash=auto_slash,
                 pipeline_config=pipeline_config,
                 rng=random.Random(seed + 2 + len(peers)),
+                telemetry=telemetry,
             )
         deployment = cls(
             simulator=simulator,

@@ -60,6 +60,7 @@ from repro.pipeline.pipeline import (
     ValidationPipeline,
     Verdict,
 )
+from repro.telemetry import resolve as resolve_telemetry
 from repro.waku.message import WakuMessage
 from repro.waku.relay import WakuRelay
 from repro.zksnark.prover import RLNProver, shared_prover
@@ -100,11 +101,13 @@ class WakuRLNRelayPeer:
         auto_slash: bool = True,
         pipeline_config: PipelineConfig | None = None,
         rng: random.Random | None = None,
+        telemetry=None,
     ) -> None:
         self.peer_id = peer_id
         self.simulator = simulator
         self.chain = chain
         self.contract = contract
+        self.telemetry = resolve_telemetry(telemetry)
         self.config = config or RLNConfig()
         self.prover = prover or shared_prover(
             self.config.tree_depth, self.config.prover_backend
@@ -124,6 +127,7 @@ class WakuRLNRelayPeer:
             score_params=score_params,
             enable_scoring=enable_scoring,
             rng=rng,
+            telemetry=self.telemetry,
         )
         self.group = GroupManager(
             chain,
@@ -140,6 +144,8 @@ class WakuRLNRelayPeer:
             simulator,
             pipeline_config or PipelineConfig(),
             on_rate_limit_penalty=self._on_rate_limit_overflow,
+            telemetry=self.telemetry,
+            peer_id=peer_id,
         )
         self.slasher = Slasher(peer_id, chain, contract.address)
         self.relay.set_validator(self._validate)
@@ -406,6 +412,7 @@ class WakuRLNRelayPeer:
                 self.relay.router.network,
                 executor=self.pipeline.executor,
                 validator_stats=self.validator.stats,
+                telemetry=self.telemetry,
             )
         return self._witness_service
 
@@ -427,7 +434,11 @@ class WakuRLNRelayPeer:
 
         if self._slashing_coordinator is None:
             coordinator = SlashingCoordinator(
-                self.peer_id, self.chain, self.contract, self.simulator
+                self.peer_id,
+                self.chain,
+                self.contract,
+                self.simulator,
+                telemetry=self.telemetry,
             )
             self._slashing_coordinator = coordinator
             self.auto_slash = False
@@ -450,7 +461,9 @@ class WakuRLNRelayPeer:
 
     @property
     def validator_stats(self):
-        return self.validator.stats
+        # collect() refreshes the log-mirrored nullifier gauges, so report
+        # readers always see the log's authoritative counters.
+        return self.validator.collect()
 
     @property
     def pipeline_stats(self):

@@ -89,13 +89,13 @@ class ValidatorStats:
     witness_cache_misses: int = 0
     #: Background witness re-fetches triggered by tree updates.
     witness_refreshes: int = 0
-    #: Nullifier-map telemetry, mirrored from the validator's
-    #: :class:`~repro.core.nullifier_log.NullifierLog` after every rate
-    #: check: entries the epoch-window pruning reclaimed, entries
-    #: currently retained, and the map's high-water mark.  The §III-F
-    #: argument that the map "does not have to capture the entire
-    #: history" becomes a number the analysis layer aggregates at 1M
-    #: members (E15's memory table).
+    #: Nullifier-map telemetry, refreshed from the validator's
+    #: :class:`~repro.core.nullifier_log.NullifierLog` by
+    #: :meth:`BundleValidator.collect` — the *only* mirror point (the
+    #: log's own counters are the source of truth; two earlier report-time
+    #: copies drifted).  The §III-F argument that the map "does not have
+    #: to capture the entire history" becomes a number the analysis layer
+    #: aggregates at 1M members (E15's memory table).
     nullifiers_pruned: int = 0
     nullifier_entries: int = 0
     nullifier_peak_entries: int = 0
@@ -185,8 +185,6 @@ class BundleValidator:
         outcome, evidence = self.log.observe(
             proof.epoch, proof.internal_nullifier, proof.share, msg_id
         )
-        self.stats.nullifier_entries = self.log.entry_count()
-        self.stats.nullifier_peak_entries = self.log.peak_entries
         if outcome is NullifierOutcome.FRESH:
             return ValidationOutcome.VALID, None
         if outcome is NullifierOutcome.DUPLICATE:
@@ -195,6 +193,18 @@ class BundleValidator:
 
     def _prune(self, local_epoch: int) -> None:
         """Forget nullifiers older than the accepted window (§III-F)."""
-        self.stats.nullifiers_pruned += self.log.prune_before(
-            local_epoch - self.config.max_epoch_gap
-        )
+        self.log.prune_before(local_epoch - self.config.max_epoch_gap)
+
+    def collect(self) -> ValidatorStats:
+        """Refresh the log-mirrored gauges and return the stats object.
+
+        The single mirror point for the nullifier-map fields: the
+        :class:`~repro.core.nullifier_log.NullifierLog` keeps the
+        authoritative counters, and every reader (peer accessors, the
+        analysis aggregators, benchmark tables) goes through here instead
+        of copying them at its own report time.
+        """
+        self.stats.nullifier_entries = self.log.entry_count()
+        self.stats.nullifier_peak_entries = self.log.peak_entries
+        self.stats.nullifiers_pruned = self.log.pruned_total
+        return self.stats

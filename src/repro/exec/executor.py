@@ -47,6 +47,7 @@ from typing import Any, Callable, Protocol, runtime_checkable
 from repro.errors import ProtocolError
 from repro.exec.costs import CryptoCostModel
 from repro.net.simulator import EventHandle, Simulator
+from repro.telemetry.registry import MetricsRegistry, NullRegistry, NULL_REGISTRY
 from repro.zksnark.groth16 import PairingCounter
 
 
@@ -117,6 +118,37 @@ class ExecutorStats:
         cls.queue_delay_max = max(cls.queue_delay_max, queue_delay)
 
 
+class _ExecutorMetrics:
+    """Cached registry handles, interned once so lanes pay one call per event.
+
+    Shared by all three executor flavours; with telemetry disabled every
+    handle is a shared no-op singleton and ``enabled`` gates the few reads
+    (queue sums) that would otherwise compute a value nobody stores.
+    """
+
+    __slots__ = ("enabled", "queue_depth", "busy_lanes", "wait", "service")
+
+    def __init__(
+        self, registry: "MetricsRegistry | NullRegistry | None", peer: str
+    ) -> None:
+        reg = NULL_REGISTRY if registry is None else registry
+        self.enabled = reg.enabled
+        self.queue_depth = reg.gauge("executor_queue_depth", peer=peer)
+        self.busy_lanes = reg.gauge("executor_busy_lanes", peer=peer)
+        self.wait = {
+            p: reg.histogram(
+                "executor_queue_wait_seconds", peer=peer, priority=p.name.lower()
+            )
+            for p in Priority
+        }
+        self.service = {
+            p: reg.histogram(
+                "executor_service_seconds", peer=peer, priority=p.name.lower()
+            )
+            for p in Priority
+        }
+
+
 @runtime_checkable
 class CryptoExecutor(Protocol):
     """The seam every validation layer submits pairing work through."""
@@ -165,10 +197,13 @@ class SynchronousCryptoExecutor:
         *,
         counter: PairingCounter | None = None,
         cost_model: CryptoCostModel | None = None,
+        registry: "MetricsRegistry | NullRegistry | None" = None,
+        peer: str = "",
     ) -> None:
         self.counter = counter
         self.cost_model = cost_model or CryptoCostModel()
         self.stats = ExecutorStats()
+        self.metrics = _ExecutorMetrics(registry, peer)
 
     def submit(
         self,
@@ -188,6 +223,8 @@ class SynchronousCryptoExecutor:
                 )
                 self.stats.inline_seconds += modeled
                 self.stats.service_seconds += modeled
+                self.metrics.service[priority].observe(modeled)
+            self.metrics.wait[priority].observe(0.0)
             self.stats._record_complete(priority, 0.0)
         on_done(result)
 
@@ -231,6 +268,8 @@ class SimulatedCryptoExecutor:
         *,
         counter: PairingCounter | None = None,
         cost_model: CryptoCostModel | None = None,
+        registry: "MetricsRegistry | NullRegistry | None" = None,
+        peer: str = "",
     ) -> None:
         if workers < 1:
             raise ProtocolError(
@@ -243,6 +282,7 @@ class SimulatedCryptoExecutor:
         self.cost_model = cost_model or CryptoCostModel()
         self.stats = ExecutorStats()
         self.stats.lane_busy_seconds = [0.0] * workers
+        self.metrics = _ExecutorMetrics(registry, peer)
         self._queues: dict[Priority, deque[_SimJob]] = {p: deque() for p in Priority}
         self._idle_lanes: list[int] = list(range(workers))
         #: lane -> (completion event handle, deliver closure) while busy.
@@ -265,6 +305,8 @@ class SimulatedCryptoExecutor:
         self.stats.inline_seconds += self.cost_model.submit_overhead_seconds
         job = _SimJob(priority, work, on_done, self.simulator.now)
         self._queues[priority].append(job)
+        if self.metrics.enabled:
+            self.metrics.queue_depth.set(self.queued_jobs)
         self._dispatch_idle_lanes()
 
     def _submit_inline(
@@ -328,6 +370,8 @@ class SimulatedCryptoExecutor:
         service = self.cost_model.seconds_for_pairings(evaluations)
         self.stats.service_seconds += service
         self.stats.lane_busy_seconds[lane] += service
+        self.metrics.wait[job.priority].observe(queue_delay)
+        self.metrics.service[job.priority].observe(service)
         delivered = False
 
         def deliver() -> None:
@@ -337,6 +381,8 @@ class SimulatedCryptoExecutor:
             delivered = True
             self._in_flight.pop(lane, None)
             self.stats._record_complete(job.priority, queue_delay)
+            if self.metrics.enabled:
+                self.metrics.busy_lanes.set(len(self._in_flight))
             try:
                 job.on_done(result)
             finally:
@@ -345,6 +391,9 @@ class SimulatedCryptoExecutor:
 
         handle = self.simulator.schedule(service, deliver)
         self._in_flight[lane] = (handle, deliver)
+        if self.metrics.enabled:
+            self.metrics.queue_depth.set(self.queued_jobs)
+            self.metrics.busy_lanes.set(len(self._in_flight))
 
     # -- shutdown ------------------------------------------------------------
 
@@ -387,11 +436,18 @@ class ThreadPoolCryptoExecutor:
     against a real pool on real hardware.
     """
 
-    def __init__(self, workers: int) -> None:
+    def __init__(
+        self,
+        workers: int,
+        *,
+        registry: "MetricsRegistry | NullRegistry | None" = None,
+        peer: str = "",
+    ) -> None:
         if workers < 1:
             raise ProtocolError("ThreadPoolCryptoExecutor needs workers >= 1")
         self.workers = workers
         self.stats = ExecutorStats()
+        self.metrics = _ExecutorMetrics(registry, peer)
         self._pool = ThreadPoolExecutor(max_workers=workers)
         self._lock = threading.Lock()
         self._sequence = itertools.count()
@@ -453,6 +509,10 @@ class ThreadPoolCryptoExecutor:
                 self._in_flight -= 1
                 self.stats._record_complete(Priority(priority), started - submitted_at)
                 self.stats.service_seconds += time.perf_counter() - started
+                self.metrics.wait[Priority(priority)].observe(started - submitted_at)
+                self.metrics.service[Priority(priority)].observe(
+                    time.perf_counter() - started
+                )
                 self._admit_locked()
                 if self._in_flight == 0 and not self._heap:
                     self._idle.notify_all()

@@ -39,6 +39,7 @@ from repro.gossipsub.scoring import PeerScoreKeeper, ScoreParams
 from repro.net.promise import Promise
 from repro.net.simulator import Simulator
 from repro.net.transport import Network
+from repro.telemetry import resolve as resolve_telemetry
 
 
 class ValidationResult(Enum):
@@ -128,6 +129,7 @@ class GossipSubRouter:
         score_params: ScoreParams | None = None,
         enable_scoring: bool = False,
         rng: random.Random | None = None,
+        telemetry=None,
     ) -> None:
         self.peer_id = peer_id
         self.network = network
@@ -138,6 +140,19 @@ class GossipSubRouter:
             PeerScoreKeeper(score_params) if (enable_scoring or score_params) else None
         )
         self.stats = RouterStats()
+        self.telemetry = resolve_telemetry(telemetry)
+        registry = self.telemetry.registry
+        self._m_prunes = registry.counter("gossipsub_prunes_total", peer=peer_id)
+        self._m_grafts = registry.counter("gossipsub_grafts_total", peer=peer_id)
+        self._m_backoff_rejects = registry.counter(
+            "gossipsub_backoff_grafts_rejected_total", peer=peer_id
+        )
+        self._m_behaviour_penalties = registry.counter(
+            "gossipsub_penalties_total", peer=peer_id, kind="behaviour"
+        )
+        self._m_invalid_penalties = registry.counter(
+            "gossipsub_penalties_total", peer=peer_id, kind="invalid-message"
+        )
 
         self._topics: set[str] = set()
         self._mesh: dict[str, set[str]] = {}
@@ -247,6 +262,7 @@ class GossipSubRouter:
         )
         self._graft_backoff.setdefault(topic, {})[peer] = until
         self.stats.pruned_peers += 1
+        self._m_prunes.inc()
         mesh = self._mesh.get(topic)
         if mesh and peer in mesh:
             mesh.remove(peer)
@@ -336,18 +352,22 @@ class GossipSubRouter:
         if self.in_graft_backoff(topic, sender):
             # Backoff violation (v1.1 semantics): refuse and penalise.
             self.stats.backoff_grafts_rejected += 1
+            self._m_backoff_rejects.inc()
             self._send(sender, RPC(prune=(Prune(topic=topic),)))
             if self.scoring:
                 self.scoring.on_behaviour_penalty(sender)
+                self._m_behaviour_penalties.inc()
             return
         if self.scoring and not self.scoring.mesh_eligible(sender, self.simulator.now):
             self._send(sender, RPC(prune=(Prune(topic=topic),)))
             if self.scoring:
                 self.scoring.on_behaviour_penalty(sender)
+                self._m_behaviour_penalties.inc()
             return
         mesh = self._mesh.setdefault(topic, set())
         if sender not in mesh:
             mesh.add(sender)
+            self._m_grafts.inc()
             if self.scoring:
                 self.scoring.on_join_mesh(sender, self.simulator.now)
 
@@ -379,6 +399,7 @@ class GossipSubRouter:
             self.stats.rejected += 1
             if self.scoring:
                 self.scoring.on_invalid_message(sender)
+                self._m_invalid_penalties.inc()
             return
         if result is ValidationResult.IGNORE:
             self.stats.ignored += 1
@@ -463,6 +484,10 @@ class GossipSubRouter:
                 self._fill_mesh(topic)
             elif len(mesh) > self.params.d_hi:
                 self._shrink_mesh(topic)
+            if self.telemetry.enabled:
+                self.telemetry.registry.gauge(
+                    "gossipsub_mesh_size", peer=self.peer_id, topic=topic
+                ).set(len(mesh))
             self._emit_gossip(topic)
         self._mcache.shift()
 
@@ -480,6 +505,7 @@ class GossipSubRouter:
         while len(mesh) < self.params.d and candidates:
             peer = candidates.pop()
             mesh.add(peer)
+            self._m_grafts.inc()
             if self.scoring:
                 self.scoring.on_join_mesh(peer, now)
             self._send(peer, RPC(graft=(Graft(topic=topic),)))

@@ -32,9 +32,21 @@ from repro.exec.executor import (
     SynchronousCryptoExecutor,
 )
 from repro.net.simulator import EventHandle, Simulator
+from repro.telemetry.registry import MetricsRegistry, NullRegistry, NULL_REGISTRY
+from repro.telemetry.tracing import (
+    BATCH_FLUSH,
+    LANE_DISPATCH,
+    NULL_TRACE,
+    PAIRING,
+    NullTrace,
+    TraceContext,
+)
 from repro.zksnark.groth16 import Proof
 from repro.zksnark.prover import RLNProver
 from repro.zksnark.rln_circuit import RLNPublicInputs
+
+#: Bucket bounds for the batch-size histogram (jobs per flush, not time).
+_BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
 
 
 @dataclass(frozen=True)
@@ -44,6 +56,9 @@ class VerificationJob:
     public: RLNPublicInputs
     proof: Proof
     callback: Callable[[bool], None]
+    #: The bundle's trace, riding along so flush/dispatch/pairing marks
+    #: land on the right waterfall (the shared no-op when telemetry is off).
+    trace: "TraceContext | NullTrace" = NULL_TRACE
 
 
 @dataclass(frozen=True)
@@ -107,6 +122,8 @@ class BatchVerifier:
         adaptive: AdaptiveBatchPolicy | None = None,
         executor: CryptoExecutor | None = None,
         flush_priority: Priority = Priority.RELAY,
+        registry: "MetricsRegistry | NullRegistry | None" = None,
+        peer: str = "",
     ) -> None:
         if batch_size < 1:
             raise ProtocolError("batch_size must be >= 1")
@@ -129,6 +146,10 @@ class BatchVerifier:
             counter=prover.pairing_counter
         )
         self.flush_priority = flush_priority
+        reg = NULL_REGISTRY if registry is None else registry
+        self._m_batch_size = reg.histogram(
+            "batch_flush_size", peer=peer, buckets=_BATCH_SIZE_BUCKETS
+        )
         self.stats = BatchVerifierStats()
         self.stats.current_target = batch_size
         self._pending: list[VerificationJob] = []
@@ -166,9 +187,11 @@ class BatchVerifier:
         public: RLNPublicInputs,
         proof: Proof,
         callback: Callable[[bool], None],
+        *,
+        trace: "TraceContext | NullTrace" = NULL_TRACE,
     ) -> None:
         """Queue one job; may flush synchronously on the size trigger."""
-        self._pending.append(VerificationJob(public, proof, callback))
+        self._pending.append(VerificationJob(public, proof, callback, trace))
         self.stats.jobs_submitted += 1
         if self.adaptive is not None:
             assert self.simulator is not None
@@ -214,8 +237,15 @@ class BatchVerifier:
             return
         self._pending = []
         self.stats.batches_verified += 1
+        self._m_batch_size.observe(float(len(jobs)))
+        for job in jobs:
+            job.trace.mark(BATCH_FLUSH)
 
         def deliver(verdicts: list[bool]) -> None:
+            # The pairing span closes at simulated completion time, when
+            # the executor hands the verdicts back.
+            for job in jobs:
+                job.trace.mark(PAIRING)
             # One job's callback raising (e.g. a user on_spam hook) must not
             # strand the other jobs of the batch with unresolved promises:
             # deliver every verdict, then surface the first failure.
@@ -234,6 +264,10 @@ class BatchVerifier:
         )
 
     def _verify(self, jobs: Sequence[VerificationJob]) -> list[bool]:
+        # Runs when a lane picks the batch up: the flush→dispatch delta is
+        # the executor queue wait from the bundle's point of view.
+        for job in jobs:
+            job.trace.mark(LANE_DISPATCH)
         if len(jobs) == 1:
             # A batch of one gains nothing from the RLC framing; the single
             # classical check keeps batch_size=1 bit-identical to the seed.

@@ -53,6 +53,8 @@ from repro.pipeline.ratelimit import (
     RateLimitVerdict,
 )
 from repro.pipeline.verdicts import SharedProofChecker, VerdictCache
+from repro.telemetry import NullTelemetry, Telemetry, resolve as resolve_telemetry
+from repro.telemetry import tracing
 from repro.waku.message import WakuMessage
 from repro.zksnark.prover import RLNProver
 
@@ -190,9 +192,20 @@ class ValidationPipeline:
         config: PipelineConfig | None = None,
         *,
         on_rate_limit_penalty: Callable[[str], None] | None = None,
+        telemetry: "Telemetry | NullTelemetry | None" = None,
+        peer_id: str = "",
     ) -> None:
         self.validator = validator
         self.config = config or PipelineConfig()
+        self.simulator = simulator
+        self.telemetry = resolve_telemetry(telemetry)
+        self.peer_id = peer_id
+        clock = (lambda: simulator.now) if simulator is not None else None
+        self.tracer = self.telemetry.tracer(peer_id or "pipeline", clock=clock)
+        registry = self.telemetry.registry
+        self._m_admitted = registry.counter("pipeline_admitted_total", peer=peer_id)
+        self._m_deferred = registry.counter("pipeline_deferred_total", peer=peer_id)
+        self._m_drops: dict[str, object] = {}
         # A verdict resolves against the local epoch captured at submit
         # time; a deadline spanning epochs would accept bundles the rest of
         # the network is already rejecting as out-of-window.
@@ -225,11 +238,15 @@ class ValidationPipeline:
                 self.config.workers,
                 counter=prover.pairing_counter,
                 cost_model=self.config.cost_model,
+                registry=registry,
+                peer=peer_id,
             )
         else:
             self.executor = SynchronousCryptoExecutor(
                 counter=prover.pairing_counter,
                 cost_model=self.config.cost_model,
+                registry=registry,
+                peer=peer_id,
             )
         self.batch_verifier = BatchVerifier(
             prover,
@@ -239,6 +256,8 @@ class ValidationPipeline:
             adaptive=self.config.adaptive_policy(),
             executor=self.executor,
             flush_priority=Priority.RELAY,
+            registry=registry,
+            peer=peer_id,
         )
         self.verdict_cache = VerdictCache(self.config.verdict_cache_capacity)
         self._prover = prover
@@ -259,15 +278,20 @@ class ValidationPipeline:
         now: float = 0.0,
     ) -> "Verdict | PendingVerdict":
         """Run one bundle through the stages; sync verdict or a promise."""
+        trace = self.tracer.begin()
         # Stage 1 — stateless gates and dedup (no field arithmetic).
         gate = self.prefilter.check(message, local_epoch, msg_id, topic)
+        trace.mark(tracing.PREFILTER)
         if gate is not PrefilterOutcome.PASS:
-            return self._gate_verdict(gate)
+            verdict = self._gate_verdict(gate)
+            self.tracer.finish(trace)
+            return verdict
 
         # Stage 2 — token buckets; per-peer overflow feeds a GossipSub
         # behaviour penalty (a shared topic-bucket denial is aggregate
         # back-pressure, not the forwarder's fault — no penalty).
         admission = self.ratelimiter.allow(sender, topic, now)
+        trace.mark(tracing.RATELIMIT)
         if admission is not RateLimitVerdict.ALLOWED:
             if (
                 admission is RateLimitVerdict.PEER_LIMITED
@@ -279,6 +303,8 @@ class ValidationPipeline:
             # ``retryable`` tells the caller to do the same for its own
             # dedup layer (the router's seen-cache).
             self.prefilter.dedup.forget(topic, msg_id)
+            self._count_drop("ratelimit")
+            self.tracer.finish(trace)
             # IGNORE, not REJECT — the router must not stack an
             # invalid-message penalty on content whose validity was never
             # checked.
@@ -290,8 +316,11 @@ class ValidationPipeline:
         bundle = message.rate_limit_proof
         # Stage 3 — root recognition and payload binding (§III-F items 2-3).
         cheap = self.validator.classify_cheap(message)
+        trace.mark(tracing.CHEAP_CHECKS)
         if cheap is not None:
-            return self._finish(cheap, None, stage="cheap-checks")
+            verdict = self._finish(cheap, None, stage="cheap-checks")
+            self.tracer.finish(trace)
+            return verdict
 
         # Stage 4 — verdict cache, then batched verification.
         public = bundle.public_inputs()
@@ -299,9 +328,12 @@ class ValidationPipeline:
         cached = self.verdict_cache.get(key)
         if cached is not None:
             self.validator.stats.proofs_cached += 1
-            return self._after_proof(
+            trace.mark(tracing.VERDICT_CACHE)
+            verdict = self._after_proof(
                 message, local_epoch, msg_id, cached, stage="verdict-cache", cached=True
             )
+            self.tracer.finish(trace)
+            return verdict
 
         # A straight re-broadcast of a proof already inside the open batch
         # window does not reach this point: an identical wire message has
@@ -313,14 +345,18 @@ class ValidationPipeline:
         # nullifier log, so no in-window dedup is maintained for it.)
         pending = PendingVerdict()
         self.validator.stats.proofs_verified += 1
+        trace.mark(tracing.BATCH_ENQUEUE)
 
         def on_proof_verdict(proof_ok: bool) -> None:
             self.verdict_cache.put(key, proof_ok)
-            pending.resolve(
-                self._after_proof(message, local_epoch, msg_id, proof_ok, stage="verify")
+            verdict = self._after_proof(
+                message, local_epoch, msg_id, proof_ok, stage="verify"
             )
+            trace.mark(tracing.RESOLVE)
+            self.tracer.finish(trace)
+            pending.resolve(verdict)
 
-        self.batch_verifier.submit(public, bundle.proof, on_proof_verdict)
+        self.batch_verifier.submit(public, bundle.proof, on_proof_verdict, trace=trace)
         if self._closed:
             # A closed pipeline (peer shut down) must never re-arm the batch
             # deadline: late arrivals verify synchronously, like the seed.
@@ -330,6 +366,7 @@ class ValidationPipeline:
             # synchronously — indistinguishable from the seed path.
             return pending.verdict
         self.stats.deferred += 1
+        self._m_deferred.inc()
         return pending
 
     def flush(self) -> None:
@@ -353,6 +390,29 @@ class ValidationPipeline:
         self.batch_verifier.flush()
         self.executor.drain()
         self.executor.pin_synchronous()
+        self._flush_final_gauges()
+
+    def _flush_final_gauges(self) -> None:
+        """Pin the executor gauges to their settled post-drain values.
+
+        Without this, a snapshot taken after ``close()`` would still show
+        the queue depth / busy lanes from the last live dispatch — state
+        the drain just discarded.  The final lane-occupancy fraction and
+        total modeled service time are recorded too, so shutdown
+        snapshots carry the run's utilisation summary.
+        """
+        registry = self.telemetry.registry
+        if not registry.enabled:
+            return
+        registry.gauge("executor_queue_depth", peer=self.peer_id).set(0)
+        registry.gauge("executor_busy_lanes", peer=self.peer_id).set(0)
+        elapsed = self.simulator.now if self.simulator is not None else 0.0
+        registry.gauge("executor_lane_occupancy", peer=self.peer_id).set(
+            self.executor.stats.occupancy(elapsed)
+        )
+        registry.gauge("executor_service_seconds_total", peer=self.peer_id).set(
+            self.executor.stats.service_seconds
+        )
 
     def reopen(self) -> None:
         """Re-enable batching and worker lanes after :meth:`close`."""
@@ -377,6 +437,14 @@ class ValidationPipeline:
 
     # -- helpers ----------------------------------------------------------------
 
+    def _count_drop(self, stage: str) -> None:
+        counter = self._m_drops.get(stage)
+        if counter is None:
+            counter = self._m_drops[stage] = self.telemetry.registry.counter(
+                "pipeline_drops_total", peer=self.peer_id, stage=stage
+            )
+        counter.inc()  # type: ignore[union-attr]
+
     _GATE_OUTCOMES: dict[PrefilterOutcome, ValidationOutcome] = {
         PrefilterOutcome.MISSING_PROOF: ValidationOutcome.MISSING_PROOF,
         PrefilterOutcome.STALE_EPOCH: ValidationOutcome.INVALID_EPOCH_GAP,
@@ -392,6 +460,7 @@ class ValidationPipeline:
             if gate is PrefilterOutcome.DUPLICATE_ID
             else ValidationResult.REJECT
         )
+        self._count_drop("prefilter")
         return Verdict(action, None, stage="prefilter")
 
     def _after_proof(
@@ -420,9 +489,12 @@ class ValidationPipeline:
         self.validator.stats.record(outcome)
         if outcome is ValidationOutcome.VALID:
             self.stats.admitted += 1
+            self._m_admitted.inc()
             action = ValidationResult.ACCEPT
         elif outcome is ValidationOutcome.DUPLICATE:
             action = ValidationResult.IGNORE
+            self._count_drop(stage)
         else:
             action = ValidationResult.REJECT
+            self._count_drop(stage)
         return Verdict(action, outcome, evidence, stage=stage, cached=cached)

@@ -42,6 +42,8 @@ from repro.core.nullifier_log import SpamEvidence
 from repro.core.slashing import SlashAttempt, SlashState, Slasher
 from repro.crypto.field import FieldElement
 from repro.net.simulator import Simulator
+from repro.telemetry import resolve as resolve_telemetry
+from repro.telemetry.tracing import COMMIT_REVEAL, MEMBER_REMOVED
 
 
 @dataclass
@@ -120,6 +122,7 @@ class SlashingCoordinator:
         simulator: Simulator,
         *,
         auto_pump: bool = True,
+        telemetry=None,
     ) -> None:
         self.account = account
         self.chain = chain
@@ -128,6 +131,19 @@ class SlashingCoordinator:
         self.auto_pump = auto_pump
         self.slasher = Slasher(account, chain, contract.address)
         self.stats = CoordinatorStats()
+        self.telemetry = resolve_telemetry(telemetry)
+        registry = self.telemetry.registry
+        self._m_cases = registry.counter("slashing_cases_total", peer=account)
+        self._m_races = {
+            outcome: registry.counter(
+                "slashing_races_total", peer=account, outcome=outcome
+            )
+            for outcome in ("won", "lost")
+        }
+        self._m_gas = registry.counter("slashing_gas_spent_wei_total", peer=account)
+        self._m_rewards = registry.counter("slashing_rewards_wei_total", peer=account)
+        self._tracer = self.telemetry.tracer(account, clock=lambda: simulator.now)
+        self._case_traces: dict[tuple[int, int], object] = {}
         self.cases: list[RevocationCase] = []
         self._case_by_key: dict[tuple[int, int], RevocationCase] = {}
         self._accounted: set[int] = set()
@@ -151,7 +167,10 @@ class SlashingCoordinator:
         key = (evidence.internal_nullifier.value, evidence.epoch)
         if key in self._case_by_key:
             return None
+        trace = self._tracer.begin(kind="revocation")
         attempt = self.slasher.begin(evidence)  # Shamir recovery + commit
+        trace.mark(COMMIT_REVEAL)
+        self._case_traces[key] = trace
         case = RevocationCase(
             nullifier=key[0],
             epoch=key[1],
@@ -162,6 +181,7 @@ class SlashingCoordinator:
         self._case_by_key[key] = case
         self.cases.append(case)
         self.stats.cases += 1
+        self._m_cases.inc()
         if self.auto_pump:
             self._pump()
         return case
@@ -183,11 +203,15 @@ class SlashingCoordinator:
             self._accounted.add(attempt.attempt_id)
             gas = self._fee_of(attempt.commit_tx) + self._fee_of(attempt.reveal_tx)
             self.stats.gas_spent_wei += gas
+            self._m_gas.inc(gas)
             if attempt.state is SlashState.REWARDED:
                 self.stats.races_won += 1
                 self.stats.rewards_wei += attempt.reward
+                self._m_races["won"].inc()
+                self._m_rewards.inc(attempt.reward)
             else:
                 self.stats.races_lost += 1
+                self._m_races["lost"].inc()
 
     def pending(self) -> list[RevocationCase]:
         return [case for case in self.cases if not case.settled]
@@ -229,5 +253,9 @@ class SlashingCoordinator:
             if case.removed_at is None and case.spammer_pk.value == pk:
                 case.removed_at = self.simulator.now
                 case.removed_index = event.data["index"]
+                trace = self._case_traces.pop((case.nullifier, case.epoch), None)
+                if trace is not None:
+                    trace.mark(MEMBER_REMOVED)
+                    self._tracer.finish(trace)
                 for callback in list(self._removed_callbacks):
                     callback(case)

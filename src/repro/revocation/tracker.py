@@ -28,6 +28,8 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.crypto.field import FieldElement
 from repro.net.simulator import Simulator
+from repro.telemetry import resolve as resolve_telemetry
+from repro.telemetry.tracing import MEMBER_REMOVED, NULL_TRACE, WINDOW_COLLAPSE
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.validator import RootAcceptor
@@ -37,11 +39,21 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class RevocationTracker:
     """One experiment's clock for the detection → exclusion pipeline."""
 
-    def __init__(self, simulator: Simulator, *, poll_interval: float = 0.05) -> None:
+    def __init__(
+        self,
+        simulator: Simulator,
+        *,
+        poll_interval: float = 0.05,
+        telemetry=None,
+        name: str = "revocation-tracker",
+    ) -> None:
         if poll_interval <= 0:
             raise ValueError("poll_interval must be positive")
         self.simulator = simulator
         self.poll_interval = poll_interval
+        self.telemetry = resolve_telemetry(telemetry)
+        self._tracer = self.telemetry.tracer(name, clock=lambda: simulator.now)
+        self._trace = None
         self.spam_detected_at: float | None = None
         self.removed_on_chain_at: float | None = None
         #: View name -> simulated time its window stopped accepting the
@@ -55,11 +67,14 @@ class RevocationTracker:
         """First detection wins: wire to every routing peer's ``on_spam``."""
         if self.spam_detected_at is None:
             self.spam_detected_at = self.simulator.now
+            self._trace = self._tracer.begin(kind="revocation-network")
 
     def removed_on_chain(self, _case: "RevocationCase | None" = None) -> None:
         """Wire to a :class:`SlashingCoordinator`'s ``on_removed``."""
         if self.removed_on_chain_at is None:
             self.removed_on_chain_at = self.simulator.now
+            if self._trace is not None:
+                self._trace.mark(MEMBER_REMOVED)
 
     # -- per-view exclusion ------------------------------------------------------
 
@@ -81,12 +96,29 @@ class RevocationTracker:
                 cancel = self._watching.pop(name, None)
                 if cancel is not None:
                     cancel()
+                self._maybe_finish_trace()
 
         if not acceptor.is_acceptable_root(stale_root):
             # Already excluded (e.g. the watch started after removal).
             self.exclusions[name] = self.simulator.now
+            self._maybe_finish_trace()
             return
         self._watching[name] = self.simulator.every(self.poll_interval, check)
+
+    def _maybe_finish_trace(self) -> None:
+        """Close the revocation trace once the *last* watched view folds.
+
+        The window-collapse span then measures on-chain removal to
+        network-wide exclusion — the tracker's ``propagation_latency`` —
+        on the shared stage histograms.
+        """
+        if self._trace is None or self._trace is NULL_TRACE:
+            return
+        if self._watching or not self.exclusions:
+            return
+        trace, self._trace = self._trace, None
+        trace.mark(WINDOW_COLLAPSE)
+        self._tracer.finish(trace)
 
     @property
     def watching(self) -> tuple[str, ...]:

@@ -1,0 +1,154 @@
+"""Unified telemetry for the RLN-relay reproduction.
+
+One :class:`Telemetry` object per simulation run bundles the three
+surfaces the subsystems share:
+
+* a :class:`~repro.telemetry.registry.MetricsRegistry` of interned
+  Counter/Gauge/Histogram handles (``name{label=value}`` keys);
+* per-peer :class:`~repro.telemetry.tracing.Tracer` ring buffers minting
+  :class:`~repro.telemetry.tracing.TraceContext` objects that ride a
+  bundle from relay ingress to verdict (and evidence to network-wide
+  exclusion) stamping the *simulated* clock;
+* a :class:`~repro.telemetry.export.TelemetrySnapshot` exporter (JSON
+  artifact + Prometheus text).
+
+Everything is opt-in: every component takes ``telemetry=None`` and falls
+back to :data:`NULL_TELEMETRY`, whose registry and tracers are shared
+no-op singletons — the disabled path does no formatting, no allocation,
+no storage, keeping seed behavior bit-identical (E16's overhead arm).
+
+Typical benchmark wiring::
+
+    telemetry = Telemetry()
+    peer = WakuRLNRelayPeer(..., telemetry=telemetry)
+    ...
+    snap = telemetry.snapshot()
+    stage = telemetry.registry.histogram(
+        "trace_stage_seconds", kind="bundle", stage=tracing.PAIRING)
+    print(stage.p50, stage.p99)   # exact, from retained samples
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.telemetry.export import (
+    TelemetrySnapshot,
+    mirror_stats,
+    render_prometheus,
+    write_snapshot,
+)
+from repro.telemetry.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_REGISTRY,
+    NullRegistry,
+    metric_key,
+)
+from repro.telemetry.tracing import (
+    NULL_TRACE,
+    NULL_TRACER,
+    NullTrace,
+    NullTracer,
+    Span,
+    TraceContext,
+    Tracer,
+)
+
+
+class Telemetry:
+    """The per-run telemetry hub: one registry, per-peer tracers."""
+
+    enabled = True
+
+    def __init__(self, *, trace_capacity: int = 256) -> None:
+        self.registry = MetricsRegistry()
+        self.trace_capacity = trace_capacity
+        self._tracers: dict[str, Tracer] = {}
+
+    def tracer(
+        self, peer_id: str, *, clock: Callable[[], float] | None = None
+    ) -> Tracer:
+        """The (cached) tracer for ``peer_id``; first caller sets the clock."""
+        tracer = self._tracers.get(peer_id)
+        if tracer is None:
+            tracer = self._tracers[peer_id] = Tracer(
+                peer_id, self.registry, clock=clock, capacity=self.trace_capacity
+            )
+        elif clock is not None:
+            tracer.clock = clock
+        return tracer
+
+    def tracers(self) -> dict[str, Tracer]:
+        return dict(self._tracers)
+
+    def snapshot(self) -> TelemetrySnapshot:
+        return TelemetrySnapshot.of(self.registry)
+
+    def render_prometheus(self) -> str:
+        return render_prometheus(self.snapshot())
+
+
+class NullTelemetry:
+    """The disabled hub: shared no-op registry and tracer, empty snapshot."""
+
+    enabled = False
+    registry = NULL_REGISTRY
+
+    def tracer(
+        self, peer_id: str, *, clock: Callable[[], float] | None = None
+    ) -> NullTracer:
+        return NULL_TRACER
+
+    def tracers(self) -> dict[str, Tracer]:
+        return {}
+
+    def snapshot(self) -> TelemetrySnapshot:
+        return TelemetrySnapshot({})
+
+    def render_prometheus(self) -> str:
+        return render_prometheus(TelemetrySnapshot({}))
+
+
+NULL_TELEMETRY = NullTelemetry()
+
+
+def resolve(telemetry: "Telemetry | NullTelemetry | None") -> "Telemetry | NullTelemetry":
+    """The ``telemetry=None`` seam every constructor funnels through."""
+    return NULL_TELEMETRY if telemetry is None else telemetry
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "NULL_REGISTRY",
+    "NULL_TELEMETRY",
+    "NULL_TRACE",
+    "NULL_TRACER",
+    "NullRegistry",
+    "NullTelemetry",
+    "NullTrace",
+    "NullTracer",
+    "Span",
+    "Telemetry",
+    "TelemetrySnapshot",
+    "TraceContext",
+    "Tracer",
+    "metric_key",
+    "mirror_stats",
+    "render_prometheus",
+    "resolve",
+    "write_snapshot",
+]

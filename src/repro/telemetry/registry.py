@@ -1,0 +1,312 @@
+"""The metrics registry: Counter / Gauge / Histogram keyed by name{labels}.
+
+Every subsystem of the reproduction grew its own ad-hoc counter dataclass
+(``ValidatorStats``, ``TreeSyncStats``, ``CoordinatorStats``, …) and every
+benchmark hand-rolled its own latency math.  This module is the one home
+for *live* instrumentation, in the idiom of production p2p metrics
+registries:
+
+* metrics are interned by canonical key ``name{label=value,…}`` — asking
+  twice returns the same object, so hot paths cache the handle once at
+  construction time and pay only an attribute call per event;
+* :class:`Histogram` keeps **fixed log-spaced buckets** (for the
+  Prometheus/snapshot export, where merging across peers must stay
+  additive) *and* the raw sample stream (for exact p50/p90/p99/max in
+  benchmark waterfalls — bucket quantiles are estimates, exact ones are
+  what the paper-facing tables print);
+* the whole surface has a **zero-cost disabled mode**:
+  :data:`NULL_REGISTRY` hands out shared no-op singletons whose methods
+  do nothing, so code instruments unconditionally and a disabled run
+  stays bit-identical to the seed (the E16 overhead arm pins this).
+
+Telemetry is *off by default* everywhere: every constructor takes
+``telemetry=None`` and falls back to the null objects.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterable, Mapping
+
+from repro.analysis.reporting import percentile
+
+#: Log-spaced bucket upper bounds: 1 µs → 100 s, four buckets per decade.
+#: Fixed (never resized) so bucket counts merge additively across peers
+#: and across snapshots; observations above the last bound land in the
+#: implicit +Inf overflow bucket.
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(
+    round(1e-6 * (10 ** (step / 4)), 12) for step in range(33)
+)
+
+
+def metric_key(name: str, labels: Mapping[str, str]) -> str:
+    """Canonical registry key: ``name`` or ``name{k=v,…}`` with sorted keys."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count (events, drops, bytes…)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Mapping[str, str]) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (queue depth, mesh size, occupancy…)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Mapping[str, str]) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+
+class Histogram:
+    """Log-spaced bucket counts plus the exact sample stream.
+
+    ``observe`` is the hot path: one bisect over the fixed bounds, a few
+    integer/float updates, one list append — no per-sample object
+    allocation, sorting deferred to the first percentile read.  Samples
+    are retained (a float each) so :meth:`percentile` is *exact*;
+    snapshots export only the bucket counts and summary fields, which is
+    what keeps snapshot merging additive and commutative (exactness
+    lives on the live object, the export carries deterministic bucket
+    estimates).
+    """
+
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count", "total", "minimum", "maximum", "_samples", "_dirty")
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: Mapping[str, str],
+        *,
+        buckets: Iterable[float] | None = None,
+    ) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self.bounds: tuple[float, ...] = (
+            DEFAULT_BUCKETS if buckets is None else tuple(sorted(buckets))
+        )
+        #: Per-bucket (non-cumulative) counts; index ``len(bounds)`` is
+        #: the +Inf overflow bucket.
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = 0.0
+        self._samples: list[float] = []
+        self._dirty = False
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        self._samples.append(value)
+        self._dirty = True
+
+    # -- exact readouts (benchmark waterfalls) ------------------------------
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Exact linear-interpolated quantile over every recorded sample."""
+        if self._dirty:
+            self._samples.sort()
+            self._dirty = False
+        return percentile(self._samples, q, presorted=True)
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p90(self) -> float:
+        return self.percentile(0.90)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
+
+Metric = Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """Interned metrics by canonical key; the enabled half of the seam."""
+
+    enabled = True
+
+    def __init__(self, *, buckets: Iterable[float] | None = None) -> None:
+        self._default_buckets = (
+            DEFAULT_BUCKETS if buckets is None else tuple(sorted(buckets))
+        )
+        self._metrics: dict[str, Metric] = {}
+
+    def _intern(self, cls, name: str, labels: Mapping[str, str], **kwargs):
+        key = metric_key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = cls(name, labels, **kwargs)
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {key!r} is a {metric.kind}, requested {cls.__name__.lower()}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._intern(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._intern(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, *, buckets: Iterable[float] | None = None, **labels: str
+    ) -> Histogram:
+        return self._intern(
+            Histogram, name, labels, buckets=buckets or self._default_buckets
+        )
+
+    # -- reading ------------------------------------------------------------
+
+    def metrics(self) -> dict[str, Metric]:
+        """Live metric objects by canonical key (read-only by convention)."""
+        return dict(self._metrics)
+
+    def collect(self) -> "dict[str, dict]":
+        """One atomic read of every metric into plain JSON-able dicts.
+
+        This is *the* read path (the snapshot exporter and the mirrored
+        ``*Stats`` views both go through it), so a consumer can never see
+        a metric half-updated across two different report-time copies.
+        """
+        out: dict[str, dict] = {}
+        for key, metric in self._metrics.items():
+            entry: dict = {
+                "name": metric.name,
+                "kind": metric.kind,
+                "labels": dict(metric.labels),
+            }
+            if isinstance(metric, Histogram):
+                entry.update(
+                    count=metric.count,
+                    sum=metric.total,
+                    min=metric.minimum if metric.count else 0.0,
+                    max=metric.maximum,
+                    le=list(metric.bounds),
+                    buckets=list(metric.bucket_counts),
+                )
+            else:
+                entry["value"] = metric.value
+            out[key] = entry
+        return out
+
+
+class NullCounter:
+    """Shared do-nothing counter for the disabled path."""
+
+    __slots__ = ()
+    kind = "counter"
+    name = ""
+    labels: dict[str, str] = {}
+    value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        return None
+
+
+class NullGauge:
+    __slots__ = ()
+    kind = "gauge"
+    name = ""
+    labels: dict[str, str] = {}
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        return None
+
+    def add(self, delta: float) -> None:
+        return None
+
+
+class NullHistogram:
+    __slots__ = ()
+    kind = "histogram"
+    name = ""
+    labels: dict[str, str] = {}
+    bounds: tuple[float, ...] = ()
+    count = 0
+    total = 0.0
+    minimum = 0.0
+    maximum = 0.0
+    mean = 0.0
+    p50 = p90 = p99 = 0.0
+
+    def observe(self, value: float) -> None:
+        return None
+
+    def percentile(self, q: float) -> float:
+        return 0.0
+
+
+NULL_COUNTER = NullCounter()
+NULL_GAUGE = NullGauge()
+NULL_HISTOGRAM = NullHistogram()
+
+
+class NullRegistry:
+    """The disabled registry: every request returns a shared no-op.
+
+    No keys are formatted, nothing is stored — a disabled run pays one
+    attribute lookup and an empty method call per instrumentation site,
+    which the E16 overhead arm shows is within noise of the seed.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, **labels: str) -> NullCounter:
+        return NULL_COUNTER
+
+    def gauge(self, name: str, **labels: str) -> NullGauge:
+        return NULL_GAUGE
+
+    def histogram(self, name: str, **labels: str) -> NullHistogram:
+        return NULL_HISTOGRAM
+
+    def metrics(self) -> dict[str, Metric]:
+        return {}
+
+    def collect(self) -> dict[str, dict]:
+        return {}
+
+
+NULL_REGISTRY = NullRegistry()

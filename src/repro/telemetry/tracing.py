@@ -1,0 +1,200 @@
+"""Span tracing on the simulated clock: one trace per bundle lifecycle.
+
+A :class:`TraceContext` is minted at relay ingress and carried through
+the bundle's whole path — prefilter → dedup/ratelimit → cheap checks →
+batch enqueue → flush → executor lane dispatch → pairing verdict →
+resolve — and, on the revocation path, evidence → commit-reveal →
+``MemberRemoved`` → accepted-window collapse.  Each :meth:`TraceContext.mark`
+stamps the *simulated* clock, so spans measure exactly the queueing and
+service delays the discrete-event model charges (batch deadlines, lane
+waits, pairing service time), not Python wall time.
+
+Finished traces land in a per-peer **ring buffer** (recent individual
+waterfalls, bounded memory) and fold their per-stage durations into the
+shared registry's ``trace_stage_seconds{stage=…}`` histograms — which is
+where the E-benches read a true stage-latency waterfall with exact
+p50/p99 from.
+
+Like the registry, the whole surface has a no-op twin
+(:data:`NULL_TRACER` / :data:`NULL_TRACE`) so instrumentation is
+unconditional and a disabled run does no work and allocates nothing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.telemetry.registry import MetricsRegistry, NullRegistry
+
+#: Canonical bundle-lifecycle stage names, in path order.  A verdict that
+#: short-circuits (gate drop, cache hit) simply has fewer marks; span
+#: durations are always deltas between *consecutive* marks, so skipped
+#: stages never show up as zero-length noise.
+INGRESS = "ingress"
+PREFILTER = "prefilter"
+RATELIMIT = "ratelimit"
+CHEAP_CHECKS = "cheap-checks"
+VERDICT_CACHE = "verdict-cache"
+BATCH_ENQUEUE = "batch-enqueue"
+BATCH_FLUSH = "batch-flush"
+LANE_DISPATCH = "lane-dispatch"
+PAIRING = "pairing"
+RESOLVE = "resolve"
+
+#: Revocation-path stages (evidence → network-wide exclusion).
+EVIDENCE = "evidence"
+COMMIT_REVEAL = "commit-reveal"
+MEMBER_REMOVED = "member-removed"
+WINDOW_COLLAPSE = "window-collapse"
+
+BUNDLE_STAGE_ORDER = (
+    PREFILTER,
+    RATELIMIT,
+    CHEAP_CHECKS,
+    VERDICT_CACHE,
+    BATCH_ENQUEUE,
+    BATCH_FLUSH,
+    LANE_DISPATCH,
+    PAIRING,
+    RESOLVE,
+)
+
+REVOCATION_STAGE_ORDER = (COMMIT_REVEAL, MEMBER_REMOVED, WINDOW_COLLAPSE)
+
+
+@dataclass(frozen=True)
+class Span:
+    """One stage's share of a trace: ``stage`` ran from ``start`` to ``end``."""
+
+    stage: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class TraceContext:
+    """The per-bundle trail of (stage, simulated-time) marks."""
+
+    __slots__ = ("trace_id", "kind", "origin", "marks", "_clock")
+
+    def __init__(
+        self, trace_id: int, kind: str, origin: str, clock: Callable[[], float]
+    ) -> None:
+        self.trace_id = trace_id
+        self.kind = kind
+        self.origin = origin
+        self._clock = clock
+        self.marks: list[tuple[str, float]] = [(INGRESS if kind == "bundle" else EVIDENCE, clock())]
+
+    def mark(self, stage: str) -> None:
+        """Stamp ``stage`` as completed now (simulated clock)."""
+        self.marks.append((stage, self._clock()))
+
+    @property
+    def started_at(self) -> float:
+        return self.marks[0][1]
+
+    @property
+    def ended_at(self) -> float:
+        return self.marks[-1][1]
+
+    @property
+    def total(self) -> float:
+        return self.ended_at - self.started_at
+
+    def spans(self) -> tuple[Span, ...]:
+        """Consecutive-mark deltas: the stage waterfall of this trace."""
+        return tuple(
+            Span(stage=stage, start=prev_t, end=t)
+            for (_, prev_t), (stage, t) in itertools.pairwise(self.marks)
+        )
+
+
+class NullTrace:
+    """Shared do-nothing trace for the disabled path."""
+
+    __slots__ = ()
+    trace_id = -1
+    kind = "null"
+    origin = ""
+    marks: list[tuple[str, float]] = []
+    started_at = 0.0
+    ended_at = 0.0
+    total = 0.0
+
+    def mark(self, stage: str) -> None:
+        return None
+
+    def spans(self) -> tuple[Span, ...]:
+        return ()
+
+
+NULL_TRACE = NullTrace()
+
+
+class Tracer:
+    """One peer's trace mint and ring buffer over the shared registry."""
+
+    def __init__(
+        self,
+        peer_id: str,
+        registry: MetricsRegistry | NullRegistry,
+        *,
+        clock: Callable[[], float] | None = None,
+        capacity: int = 256,
+    ) -> None:
+        self.peer_id = peer_id
+        self.registry = registry
+        self.clock: Callable[[], float] = clock or (lambda: 0.0)
+        self._ids = itertools.count()
+        self._ring: deque[TraceContext] = deque(maxlen=capacity)
+
+    def begin(self, kind: str = "bundle") -> TraceContext:
+        """Mint a trace at the current simulated instant (relay ingress)."""
+        return TraceContext(next(self._ids), kind, self.peer_id, self.clock)
+
+    def finish(self, trace: TraceContext | NullTrace) -> None:
+        """Archive a completed trace and fold its spans into histograms."""
+        if trace is NULL_TRACE:
+            return
+        assert isinstance(trace, TraceContext)
+        self._ring.append(trace)
+        for span in trace.spans():
+            self.registry.histogram(
+                "trace_stage_seconds", kind=trace.kind, stage=span.stage
+            ).observe(span.duration)
+        self.registry.histogram("trace_total_seconds", kind=trace.kind).observe(
+            trace.total
+        )
+        self.registry.counter("traces_finished_total", kind=trace.kind).inc()
+
+    def recent(self, kind: str | None = None) -> tuple[TraceContext, ...]:
+        """The ring's contents, oldest first (optionally one kind only)."""
+        traces: Iterable[TraceContext] = self._ring
+        if kind is not None:
+            traces = (t for t in traces if t.kind == kind)
+        return tuple(traces)
+
+
+class NullTracer:
+    """The disabled tracer: mints the shared no-op trace, keeps nothing."""
+
+    peer_id = ""
+
+    def begin(self, kind: str = "bundle") -> NullTrace:
+        return NULL_TRACE
+
+    def finish(self, trace: object) -> None:
+        return None
+
+    def recent(self, kind: str | None = None) -> tuple[TraceContext, ...]:
+        return ()
+
+
+NULL_TRACER = NullTracer()

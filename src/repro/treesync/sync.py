@@ -23,6 +23,7 @@ event.  :class:`ShardSyncManager` is the sharded answer:
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence
@@ -49,6 +50,7 @@ from repro.treesync.messages import (
     shard_topic,
 )
 from repro.treesync.witness import splice
+from repro.telemetry import resolve as resolve_telemetry
 from repro.waku.message import WakuMessage
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
@@ -100,6 +102,8 @@ class ShardSyncManager:
         shard_depth: int = DEFAULT_SHARD_DEPTH,
         root_window: int = 5,
         hasher: NodeHasher | None = None,
+        telemetry=None,
+        peer_id: str = "",
     ) -> None:
         if not 1 <= shard_depth < depth:
             raise MerkleError(
@@ -141,6 +145,29 @@ class ShardSyncManager:
         #: (stale witnesses crossing the dead leaf stop validating now).
         self._collapse_window = False
         self.stats = TreeSyncStats()
+        self.telemetry = resolve_telemetry(telemetry)
+        registry = self.telemetry.registry
+        self._m_home_events = registry.counter(
+            "treesync_events_total", peer=peer_id, kind="home"
+        )
+        self._m_foreign_events = registry.counter(
+            "treesync_events_total", peer=peer_id, kind="foreign"
+        )
+        self._m_commits = registry.counter("treesync_commits_total", peer=peer_id)
+        self._m_rollbacks = registry.counter("treesync_rollbacks_total", peer=peer_id)
+        self._m_checkpoints = registry.counter(
+            "treesync_checkpoints_restored_total", peer=peer_id
+        )
+        self._m_snapshots = registry.counter(
+            "treesync_snapshots_restored_total", peer=peer_id
+        )
+        self._m_removals = registry.counter("treesync_removals_total", peer=peer_id)
+        self._m_bytes = registry.counter("treesync_bytes_consumed_total", peer=peer_id)
+        #: Wall-clock (not simulated) seconds: checkpoint replay is real
+        #: local hash work, the one place wall time is the honest measure.
+        self._m_replay_seconds = registry.histogram(
+            "treesync_checkpoint_replay_wall_seconds", peer=peer_id
+        )
 
     # -- event consumption -----------------------------------------------------
 
@@ -199,11 +226,15 @@ class ShardSyncManager:
                 )
             self._pending[digest.shard_id] = digest.new_shard_root
             self.stats.foreign_events += 1
+            self._m_foreign_events.inc()
             if isinstance(item, ShardRemoval):
                 self.stats.removals_applied += 1
+                self._m_removals.inc()
         if isinstance(item, ShardRemoval):
             self._collapse_window = True
-        self.stats.bytes_consumed += item.byte_size()
+        size = item.byte_size()
+        self.stats.bytes_consumed += size
+        self._m_bytes.inc(size)
         self.seq = item.seq
         self._announced_root = item.new_global_root
 
@@ -231,10 +262,12 @@ class ShardSyncManager:
             # must not poison the shard (the genuine update for this seq
             # still has to apply cleanly).
             self.shard.write_leaf(local, old_leaf)
+            self._m_rollbacks.inc()
             raise InconsistentTreeUpdate(
                 "announced shard root does not match the locally replayed shard"
             )
         self.stats.home_events += 1
+        self._m_home_events.inc()
 
     def _remove_home(self, item: ShardRemoval) -> None:
         """Replay one home-shard deletion (a zero write, no path needed).
@@ -265,11 +298,14 @@ class ShardSyncManager:
         if self.shard.root != item.new_shard_root:
             # Roll back before rejecting, as for a forged registration.
             self.shard.write_leaf(local, old_leaf)
+            self._m_rollbacks.inc()
             raise InconsistentTreeUpdate(
                 "announced shard root does not match the locally replayed shard"
             )
         self.stats.home_events += 1
         self.stats.removals_applied += 1
+        self._m_home_events.inc()
+        self._m_removals.inc()
         # Local to the replay, not just to apply(): a removal replayed
         # from the store archive must collapse the window too.
         self._collapse_window = True
@@ -312,6 +348,7 @@ class ShardSyncManager:
             # _pending is kept: a genuine later recording can supersede it.
             # _collapse_window is kept too: the removal still awaits its
             # successful commit.
+            self._m_rollbacks.inc()
             raise InconsistentTreeUpdate(
                 "committed top-tree root does not match the announced global root"
             )
@@ -322,6 +359,7 @@ class ShardSyncManager:
         if not self._recent_roots or self._recent_roots[-1] != root:
             self._recent_roots.append(root)
         self.stats.commits += 1
+        self._m_commits.inc()
         return root
 
     @property
@@ -412,6 +450,7 @@ class ShardSyncManager:
         self.seq = checkpoint.seq
         self._announced_root = checkpoint.global_root
         self.stats.checkpoints_restored += 1
+        self._m_checkpoints.inc()
 
     def sync_from_store(
         self,
@@ -645,6 +684,7 @@ class ShardSyncManager:
                         # roll back too, or a failed-over adoption
                         # double-counts the window in E12/E14 traffic.
                         vars(self.stats).update(prior_stats)
+                        self._m_rollbacks.inc()
                         rejection.append(error)
                         return False
                     if on_done is not None:
@@ -671,6 +711,7 @@ class ShardSyncManager:
         home_updates: "Sequence[ShardUpdate | ShardRemoval]",
         digests: "Sequence[ShardRootDigest | ShardRemoval]",
     ) -> FieldElement:
+        started = time.perf_counter()
         if checkpoint is not None and checkpoint.seq > self.seq:
             # Home history up to the checkpoint replays into the shard
             # (foreign events in that range are subsumed by the checkpoint).
@@ -682,7 +723,9 @@ class ShardSyncManager:
                         self._write_home(update)
                     self.stats.bytes_consumed += update.byte_size()
             self.restore(checkpoint)
-        return self._replay_deltas(home_updates, digests)
+        root = self._replay_deltas(home_updates, digests)
+        self._m_replay_seconds.observe(time.perf_counter() - started)
+        return root
 
     def _replay_deltas(
         self,
@@ -832,9 +875,13 @@ class ShardSyncManager:
         # cross-check — a rolled-back attempt is not a restore.
         self.stats.checkpoints_restored += 1
         self.stats.snapshots_restored += 1
+        self._m_checkpoints.inc()
+        self._m_snapshots.inc()
         byte_size = getattr(snapshot, "byte_size", None)
         if callable(byte_size):
-            self.stats.bytes_consumed += int(byte_size())
+            size = int(byte_size())
+            self.stats.bytes_consumed += size
+            self._m_bytes.inc(size)
         return root
 
     # -- accounting -------------------------------------------------------------

@@ -46,6 +46,7 @@ class WakuRelay:
         score_params: ScoreParams | None = None,
         enable_scoring: bool = False,
         rng: random.Random | None = None,
+        telemetry=None,
     ) -> None:
         self.peer_id = peer_id
         self.pubsub_topic = pubsub_topic
@@ -57,6 +58,7 @@ class WakuRelay:
             score_params=score_params,
             enable_scoring=enable_scoring,
             rng=rng,
+            telemetry=telemetry,
         )
         self._content_callbacks: dict[str, list[MessageCallback]] = {}
         self._all_callbacks: list[MessageCallback] = []

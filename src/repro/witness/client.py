@@ -34,6 +34,7 @@ from repro.exec.executor import CryptoExecutor, Priority
 from repro.net.request import RequestDispatcher, RequestFailure
 from repro.net.simulator import Simulator
 from repro.net.transport import Network
+from repro.telemetry import resolve as resolve_telemetry
 from repro.crypto.field import FieldElement, ZERO
 from repro.treesync.messages import ShardRemoval, ShardUpdate
 from repro.treesync.witness import fold_path
@@ -185,10 +186,12 @@ class WitnessClient:
         rounds: int = 2,
         hasher: NodeHasher | None = None,
         validator_stats: "ValidatorStats | None" = None,
+        telemetry=None,
     ) -> None:
         if not providers:
             raise NetworkError("witness client needs at least one provider")
         self.peer_id = peer_id
+        self.simulator = simulator
         self.providers = tuple(providers)
         self.root_acceptor = root_acceptor
         self.tree_depth = tree_depth
@@ -218,6 +221,33 @@ class WitnessClient:
             timeout=timeout,
             rounds=rounds,
         )
+        self.telemetry = resolve_telemetry(telemetry)
+        registry = self.telemetry.registry
+        self._m_fetch_rtt = registry.histogram(
+            "witness_fetch_rtt_seconds", peer=peer_id
+        )
+        self._m_fetch_failures = registry.counter(
+            "witness_fetch_failures_total", peer=peer_id
+        )
+        self._m_hits = registry.counter("witness_cache_hits_total", peer=peer_id)
+        self._m_misses = registry.counter("witness_cache_misses_total", peer=peer_id)
+        self._m_refreshes = registry.counter("witness_refreshes_total", peer=peer_id)
+        self._m_hit_ratio = registry.gauge("witness_cache_hit_ratio", peer=peer_id)
+        # Failovers are exact from dispatcher accounting: every attempt
+        # beyond a request's first one is, by construction, a failover
+        # (timeout, unreachable, or a tampered/rejected response).
+        self._m_failovers = registry.gauge("witness_failovers", peer=peer_id)
+
+    # -- telemetry ---------------------------------------------------------------
+
+    def _update_derived_gauges(self) -> None:
+        if not self.telemetry.enabled:
+            return
+        cache = self.cache.stats
+        total = cache.hits + cache.misses
+        self._m_hit_ratio.set(cache.hits / total if total else 0.0)
+        dispatch = self.dispatcher.stats
+        self._m_failovers.set(float(dispatch.attempts - dispatch.requests))
 
     # -- witnesses -------------------------------------------------------------
 
@@ -271,13 +301,17 @@ class WitnessClient:
                 cached = None  # the slot moved under us: force a re-fetch
         if cached is not None:
             self.cache.stats.hits += 1
+            self._m_hits.inc()
             if self.validator_stats is not None:
                 self.validator_stats.witness_cache_hits += 1
+            self._update_derived_gauges()
             on_done(cached)
             return
         self.cache.stats.misses += 1
+        self._m_misses.inc()
         if self.validator_stats is not None:
             self.validator_stats.witness_cache_misses += 1
+        self._update_derived_gauges()
         self._fetch(index, on_done, on_error, expected_leaf=expected_leaf)
 
     def prefetch(
@@ -333,12 +367,18 @@ class WitnessClient:
             return True
 
         generation = self._generation
+        started_at = self.simulator.now
 
         def settled(result: object) -> None:
+            self._update_derived_gauges()
             if isinstance(result, RequestFailure):
+                self._m_fetch_failures.inc()
                 if on_error is not None:
                     on_error(result)
                 return
+            # Simulated end-to-end acquisition time: dispatch to verified
+            # delivery, failovers and retries included.
+            self._m_fetch_rtt.observe(self.simulator.now - started_at)
             assert isinstance(result, WitnessResponse)
             assert result.proof is not None and folded_root is not None
             if self._generation == generation:
@@ -432,6 +472,7 @@ class WitnessClient:
 
         def refresh(_result: object = None) -> None:
             self.cache.stats.refreshes += 1
+            self._m_refreshes.inc()
             if self.validator_stats is not None:
                 self.validator_stats.witness_refreshes += 1
             self._fetch(index, lambda proof: None, None)

@@ -25,6 +25,7 @@ from repro.crypto.field import ZERO
 from repro.errors import ProtocolError
 from repro.exec.executor import CryptoExecutor, Priority
 from repro.net.transport import Network
+from repro.telemetry import resolve as resolve_telemetry
 from repro.treesync.forest import ShardedMerkleForest
 from repro.treesync.witness import WitnessProvider
 from repro.witness.messages import (
@@ -79,6 +80,7 @@ class WitnessService:
         executor: CryptoExecutor | None = None,
         priority: Priority = Priority.SERVICE,
         validator_stats: "ValidatorStats | None" = None,
+        telemetry=None,
     ) -> None:
         self.peer_id = peer_id
         self.manager = manager
@@ -87,6 +89,18 @@ class WitnessService:
         self.priority = priority
         self.validator_stats = validator_stats
         self.stats = WitnessServiceStats()
+        self.telemetry = resolve_telemetry(telemetry)
+        registry = self.telemetry.registry
+        self._m_served = {
+            kind: registry.counter("witness_served_total", peer=peer_id, kind=kind)
+            for kind in ("witness", "snapshot")
+        }
+        self._m_misses = {
+            kind: registry.counter(
+                "witness_service_misses_total", peer=peer_id, kind=kind
+            )
+            for kind in ("witness", "snapshot")
+        }
         #: Splicing provider over the forest (sharded backend only; the
         #: flat tree serves its native paths).
         self.provider: WitnessProvider | None = (
@@ -129,12 +143,14 @@ class WitnessService:
         tree = self.manager.tree
         if not 0 <= request.index < tree.leaf_count:
             self.stats.witness_misses += 1
+            self._m_misses["witness"].inc()
             return WitnessResponse(request_id=request.request_id, found=False)
         if self.provider is not None:
             proof = self.provider.witness(request.index)
         else:
             proof = tree.proof(request.index)
         self.stats.witnesses_served += 1
+        self._m_served["witness"].inc()
         if self.validator_stats is not None:
             self.validator_stats.witnesses_served += 1
         return WitnessResponse(
@@ -155,6 +171,7 @@ class WitnessService:
         num_shards = 1 << (tree.depth - shard_depth)
         if not 0 <= request.shard_id < num_shards:
             self.stats.snapshot_misses += 1
+            self._m_misses["snapshot"].inc()
             return SnapshotResponse(request_id=request.request_id, found=False)
         capacity = 1 << shard_depth
         start = request.shard_id * capacity
@@ -165,6 +182,7 @@ class WitnessService:
             if (leaf := tree.leaf(index)) != ZERO
         )
         self.stats.snapshots_served += 1
+        self._m_served["snapshot"].inc()
         if self.validator_stats is not None:
             self.validator_stats.witnesses_served += 1
         return SnapshotResponse(

@@ -1,0 +1,118 @@
+"""Property-based tests for telemetry snapshot merging.
+
+The load-bearing algebra: snapshots are an additive view of an event
+stream, so merging the snapshots of two disjoint streams must
+
+* **commute** (``merge(A, B) == merge(B, A)``, bit-exact — float
+  addition commutes even where it does not associate), and
+* **equal recording the combined stream** — one registry fed A's events
+  then B's events snapshots to ``snap(A).merge(snap(B))``: exactly for
+  every integer-valued field (counts, bucket counts, and hence the
+  bucket-derived quantile estimates), and up to float
+  addition-reordering rounding for the ``sum``/``value`` accumulators.
+
+Event vocabulary: counter increments, gauge deltas (``add``, the
+mergeable gauge operation), histogram observations — the operations the
+instrumented subsystems actually perform.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry import MetricsRegistry, TelemetrySnapshot
+
+#: A small, shared metric vocabulary so streams collide on keys (the
+#: interesting case) while still exercising disjoint metrics.
+NAMES = ("events_total", "drops_total", "depth", "wait_seconds", "svc_seconds")
+LABELS = ({}, {"peer": "a"}, {"peer": "b"})
+BUCKETS = (0.001, 0.01, 0.1, 1.0, 10.0)
+
+counter_events = st.tuples(
+    st.just("counter"),
+    st.sampled_from(NAMES[:2]),
+    st.sampled_from(LABELS),
+    st.integers(min_value=0, max_value=1000),
+)
+gauge_events = st.tuples(
+    st.just("gauge"),
+    st.just(NAMES[2]),
+    st.sampled_from(LABELS),
+    st.integers(min_value=-50, max_value=50),
+)
+histogram_events = st.tuples(
+    st.just("histogram"),
+    st.sampled_from(NAMES[3:]),
+    st.sampled_from(LABELS),
+    st.floats(min_value=0.0, max_value=20.0, allow_nan=False, allow_infinity=False),
+)
+events = st.lists(
+    counter_events | gauge_events | histogram_events, min_size=0, max_size=40
+)
+
+
+def record(registry: MetricsRegistry, stream) -> None:
+    for kind, name, labels, value in stream:
+        if kind == "counter":
+            registry.counter(name, **labels).inc(value)
+        elif kind == "gauge":
+            registry.gauge(name, **labels).add(float(value))
+        else:
+            registry.histogram(name, buckets=BUCKETS, **labels).observe(value)
+
+
+def snap(stream) -> TelemetrySnapshot:
+    registry = MetricsRegistry()
+    record(registry, stream)
+    return TelemetrySnapshot.of(registry)
+
+
+def assert_equivalent(x: TelemetrySnapshot, y: TelemetrySnapshot) -> None:
+    """Exact on integer fields and quantiles; tolerant on float sums."""
+    assert x.data.keys() == y.data.keys()
+    for key in x.data:
+        a, b = x.data[key], y.data[key]
+        assert a.keys() == b.keys(), key
+        for field in a:
+            if field in ("sum", "value"):
+                assert math.isclose(
+                    a[field], b[field], rel_tol=1e-9, abs_tol=1e-12
+                ), (key, field)
+            else:
+                assert a[field] == b[field], (key, field)
+
+
+@settings(max_examples=200)
+@given(events, events)
+def test_merge_commutes(stream_a, stream_b):
+    a, b = snap(stream_a), snap(stream_b)
+    assert a.merge(b) == b.merge(a)
+
+
+@settings(max_examples=200)
+@given(events, events)
+def test_merge_equals_combined_stream(stream_a, stream_b):
+    merged = snap(stream_a).merge(snap(stream_b))
+    assert_equivalent(merged, snap(stream_a + stream_b))
+
+
+@settings(max_examples=100)
+@given(events, events, events)
+def test_merge_is_associative(stream_a, stream_b, stream_c):
+    a, b, c = snap(stream_a), snap(stream_b), snap(stream_c)
+    assert_equivalent(a.merge(b).merge(c), a.merge(b.merge(c)))
+
+
+@given(events)
+def test_empty_snapshot_is_the_identity(stream):
+    a = snap(stream)
+    empty = TelemetrySnapshot({})
+    assert a.merge(empty) == a
+    assert empty.merge(a) == a
+
+
+@given(events)
+def test_json_roundtrip_preserves_merge_inputs(stream):
+    a = snap(stream)
+    assert TelemetrySnapshot.from_json(a.to_json()) == a
