@@ -32,6 +32,8 @@ from repro.net.simulator import Simulator
 from repro.net.topology import random_regular
 from repro.net.transport import Network
 from repro.pipeline.pipeline import PipelineConfig
+from repro.telemetry import CollectorOptions, CollectorPeer, Telemetry
+from repro.telemetry.exporter import TelemetryExporter
 from repro.zksnark.prover import RLNProver, shared_prover
 
 
@@ -48,6 +50,12 @@ class RLNDeployment:
     config: RLNConfig
     prover: RLNProver
     rng: random.Random = field(default_factory=lambda: random.Random(0))
+    #: Fleet-telemetry wiring (populated only with ``create(collector=…)``):
+    #: one enabled :class:`~repro.telemetry.Telemetry` hub per peer, that
+    #: peer's push exporter, and the collector node(s) (primary first).
+    telemetries: dict[str, Telemetry] = field(default_factory=dict)
+    exporters: dict[str, TelemetryExporter] = field(default_factory=dict)
+    collectors: dict[str, CollectorPeer] = field(default_factory=dict)
 
     # -- construction -----------------------------------------------------------
 
@@ -71,9 +79,30 @@ class RLNDeployment:
         pipeline_config: PipelineConfig | None = None,
         start: bool = True,
         telemetry=None,
+        collector: CollectorOptions | bool | None = None,
     ) -> "RLNDeployment":
-        """Build the whole stack; peers are started but not yet registered."""
+        """Build the whole stack; peers are started but not yet registered.
+
+        ``collector=True`` (or a :class:`~repro.telemetry.CollectorOptions`)
+        switches on fleet telemetry: every peer gets its *own* enabled
+        :class:`~repro.telemetry.Telemetry` hub plus a push
+        :class:`~repro.telemetry.TelemetryExporter`, and one (or, with
+        ``backup=True``, two) :class:`~repro.telemetry.CollectorPeer`
+        nodes join the topology wired to every peer.  Default off: the
+        seed behaviour stays bit-identical, with zero telemetry bytes on
+        the wire.  Mutually exclusive with ``telemetry=`` (a shared hub
+        cannot attribute per-peer resources).
+        """
         config = config or RLNConfig()
+        if collector is True:
+            collector = CollectorOptions()
+        elif collector is False:
+            collector = None
+        if collector is not None and telemetry is not None:
+            raise ProtocolError(
+                "pass either telemetry= (one shared hub) or collector= "
+                "(per-peer hubs pushed to a collector), not both"
+            )
         rng = random.Random(seed)
         simulator = Simulator()
         chain = Blockchain(block_interval=block_interval)
@@ -96,11 +125,15 @@ class RLNDeployment:
         prover = shared_prover(config.tree_depth, config.prover_backend)
         drift = drift or DriftModel(0.0)
         peers: dict[str, WakuRLNRelayPeer] = {}
+        telemetries: dict[str, Telemetry] = {}
         for peer_id in sorted(graph.nodes):
             chain.fund(peer_id, funding_wei)
             clock = PeerClock(
                 offset=drift.sample_offset(rng), genesis_unix=config.genesis_unix
             )
+            peer_telemetry = telemetry
+            if collector is not None:
+                peer_telemetry = telemetries[peer_id] = Telemetry()
             peers[peer_id] = WakuRLNRelayPeer(
                 peer_id,
                 network=network,
@@ -116,8 +149,36 @@ class RLNDeployment:
                 auto_slash=auto_slash,
                 pipeline_config=pipeline_config,
                 rng=random.Random(seed + 2 + len(peers)),
-                telemetry=telemetry,
+                telemetry=peer_telemetry,
             )
+        collectors: dict[str, CollectorPeer] = {}
+        exporters: dict[str, TelemetryExporter] = {}
+        if collector is not None:
+            # Collector nodes join the topology with NO mesh edges: peers
+            # dial them directly (``require_edge=False``), so GossipSub
+            # never counts them as neighbors and relay behaviour stays
+            # bit-identical — while the telemetry channel still rides the
+            # same Network, its bytes billed and separable per protocol.
+            names = ["collector-0"] + (["collector-1"] if collector.backup else [])
+            for name in names:
+                network.add_peer(name, [])
+                collectors[name] = CollectorPeer(
+                    name,
+                    network,
+                    simulator,
+                    trace_capacity=collector.trace_capacity,
+                )
+            for peer_id, peer in peers.items():
+                exporters[peer_id] = peer.telemetry_exporter(
+                    names,
+                    role="full",
+                    shard=-1,
+                    interval=collector.interval,
+                    queue_limit=collector.queue_limit,
+                    timeout=collector.timeout,
+                    rounds=collector.rounds,
+                    max_traces_per_batch=collector.max_traces_per_batch,
+                )
         deployment = cls(
             simulator=simulator,
             chain=chain,
@@ -128,6 +189,9 @@ class RLNDeployment:
             config=config,
             prover=prover,
             rng=rng,
+            telemetries=telemetries,
+            exporters=exporters,
+            collectors=collectors,
         )
         if start:
             deployment.start_all()
@@ -171,6 +235,28 @@ class RLNDeployment:
         """Run long enough for GossipSub heartbeats to build the meshes."""
         params = next(iter(self.peers.values())).relay.router.params
         self.run(seconds if seconds is not None else 3 * params.heartbeat_interval)
+
+    # -- fleet telemetry ---------------------------------------------------------------
+
+    @property
+    def collector(self) -> CollectorPeer | None:
+        """The primary collector node (None when fleet telemetry is off)."""
+        return self.collectors.get("collector-0")
+
+    def flush_telemetry(self, *, settle: float = 1.0, rounds: int = 5) -> None:
+        """Push every exporter's outstanding deltas and let the acks land.
+
+        Benchmarks call this before reading
+        :meth:`CollectorPeer.fleet_snapshot` so the collector view is
+        caught up to the live registries (modulo batches the bounded
+        queues already dropped, which the collector accounts).
+        """
+        for _ in range(rounds):
+            for exporter in self.exporters.values():
+                exporter.flush()
+            self.run(settle)
+            if all(not exporter.pending for exporter in self.exporters.values()):
+                return
 
     # -- access ------------------------------------------------------------------------
 

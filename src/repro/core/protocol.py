@@ -159,6 +159,7 @@ class WakuRLNRelayPeer:
         self._stop_bucket_prune: Callable[[], None] | None = None
         self._witness_service = None
         self._slashing_coordinator = None
+        self._telemetry_exporter = None
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -185,6 +186,8 @@ class WakuRLNRelayPeer:
             self._stop_bucket_prune = None
         if self._slashing_coordinator is not None:
             self._slashing_coordinator.close()
+        if self._telemetry_exporter is not None:
+            self._telemetry_exporter.close()
         self.relay.stop()
         self.group.close()
 
@@ -449,6 +452,52 @@ class WakuRLNRelayPeer:
 
             self.on_spam(observe)
         return self._slashing_coordinator
+
+    def telemetry_exporter(
+        self,
+        collectors: list[str],
+        *,
+        role: str = "full",
+        shard: int = -1,
+        interval: float = 1.0,
+        queue_limit: int = 16,
+        timeout: float = 0.5,
+        rounds: int = 2,
+        max_traces_per_batch: int = 32,
+    ):
+        """Run the fleet-telemetry push role: delta batches to a collector.
+
+        Requires this peer to have been built with an *enabled* (and, for
+        meaningful per-peer resource attribution, per-peer) telemetry hub
+        — the OTLP-style exporter snapshots that hub's registry on
+        ``interval`` and pushes the diff over the ``telemetry`` protocol
+        channel, failing over across ``collectors``.  One exporter per
+        peer: repeat calls return the same instance (its stats stay
+        live); :meth:`stop` closes it.
+        """
+        from repro.telemetry.exporter import TelemetryExporter
+
+        if not self.telemetry.enabled:
+            raise ProtocolError(
+                f"{self.peer_id} has telemetry disabled; pass telemetry= "
+                "(or deploy with collector=) before exporting"
+            )
+        if self._telemetry_exporter is None:
+            self._telemetry_exporter = TelemetryExporter(
+                self.peer_id,
+                self.telemetry,
+                self.relay.router.network,
+                self.simulator,
+                collectors=collectors,
+                role=role,
+                shard=shard,
+                interval=interval,
+                queue_limit=queue_limit,
+                timeout=timeout,
+                rounds=rounds,
+                max_traces_per_batch=max_traces_per_batch,
+            )
+        return self._telemetry_exporter
 
     @property
     def crypto_executor(self):

@@ -102,6 +102,7 @@ class RequestDispatcher:
         reply_protocol: str | None = None,
         timeout: float = DEFAULT_TIMEOUT,
         rounds: int = 1,
+        require_edge: bool = True,
     ) -> None:
         if timeout <= 0:
             raise NetworkError("request timeout must be positive")
@@ -124,6 +125,9 @@ class RequestDispatcher:
             )
         self.timeout = timeout
         self.rounds = rounds
+        #: ``False`` models overlay dialing (infrastructure services like a
+        #: telemetry collector are reached directly, not over mesh links).
+        self.require_edge = require_edge
         self.stats = RequestStats()
         self._request_ids = itertools.count(1)
         #: request id -> (provider asked, delivery closure); dropped on
@@ -206,6 +210,7 @@ class RequestDispatcher:
                     provider,
                     make_request(request_id),
                     protocol=self.protocol,
+                    require_edge=self.require_edge,
                 )
             except NetworkError:
                 # Provider churned out of the topology (or is not a

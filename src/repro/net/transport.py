@@ -23,21 +23,50 @@ Handler = Callable[[str, Any], None]  # (sender, payload) -> None
 
 
 @dataclass
-class TrafficStats:
-    """Per-peer bandwidth accounting."""
+class ProtocolTraffic:
+    """One (peer, protocol-channel) slice of the bandwidth accounting."""
 
     messages_sent: int = 0
     messages_received: int = 0
     bytes_sent: int = 0
     bytes_received: int = 0
 
-    def record_send(self, size: int) -> None:
+
+@dataclass
+class TrafficStats:
+    """Per-peer bandwidth accounting, split by protocol channel.
+
+    The totals answer "what does this peer spend"; ``per_protocol``
+    answers "on what" — the split that lets the cost-of-observability
+    benchmark separate telemetry-channel bytes from relay (gossipsub)
+    bytes instead of reporting one opaque sum.
+    """
+
+    messages_sent: int = 0
+    messages_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    per_protocol: dict[str, ProtocolTraffic] = field(default_factory=dict)
+
+    def _channel(self, protocol: str) -> ProtocolTraffic:
+        traffic = self.per_protocol.get(protocol)
+        if traffic is None:
+            traffic = self.per_protocol[protocol] = ProtocolTraffic()
+        return traffic
+
+    def record_send(self, size: int, protocol: str = "gossipsub") -> None:
         self.messages_sent += 1
         self.bytes_sent += size
+        channel = self._channel(protocol)
+        channel.messages_sent += 1
+        channel.bytes_sent += size
 
-    def record_receive(self, size: int) -> None:
+    def record_receive(self, size: int, protocol: str = "gossipsub") -> None:
         self.messages_received += 1
         self.bytes_received += size
+        channel = self._channel(protocol)
+        channel.messages_received += 1
+        channel.bytes_received += size
 
 
 @dataclass
@@ -133,7 +162,7 @@ class Network:
         if require_edge and not self.graph.has_edge(src, dst):
             raise NotConnected(f"{src!r} and {dst!r} are not neighbors")
         size = _payload_size(payload)
-        self.stats[src].record_send(size)
+        self.stats[src].record_send(size, protocol=protocol)
         if self.drop_probability and self.rng.random() < self.drop_probability:
             return
         delay = self.latency.sample(src, dst, self.rng)
@@ -142,7 +171,7 @@ class Network:
             handler = self._handlers.get((dst, protocol))
             if handler is None:
                 return  # peer went offline before delivery
-            self.stats[dst].record_receive(size)
+            self.stats[dst].record_receive(size, protocol=protocol)
             handler(src, payload)
 
         self.simulator.schedule(delay, deliver)
@@ -160,11 +189,31 @@ class Network:
 
     # -- accounting ----------------------------------------------------------------
 
-    def total_bytes(self) -> int:
-        return sum(s.bytes_sent for s in self.stats.values())
+    def total_bytes(self, *, protocol: str | None = None) -> int:
+        if protocol is None:
+            return sum(s.bytes_sent for s in self.stats.values())
+        return sum(
+            s.per_protocol[protocol].bytes_sent
+            for s in self.stats.values()
+            if protocol in s.per_protocol
+        )
 
-    def total_messages(self) -> int:
-        return sum(s.messages_sent for s in self.stats.values())
+    def total_messages(self, *, protocol: str | None = None) -> int:
+        if protocol is None:
+            return sum(s.messages_sent for s in self.stats.values())
+        return sum(
+            s.per_protocol[protocol].messages_sent
+            for s in self.stats.values()
+            if protocol in s.per_protocol
+        )
+
+    def protocol_bytes(self) -> dict[str, int]:
+        """Bytes sent per protocol channel, fleet-wide (sorted keys)."""
+        out: dict[str, int] = {}
+        for stats in self.stats.values():
+            for protocol, traffic in stats.per_protocol.items():
+                out[protocol] = out.get(protocol, 0) + traffic.bytes_sent
+        return dict(sorted(out.items()))
 
 
 def _payload_size(payload: Any) -> int:

@@ -40,6 +40,7 @@ from repro.telemetry.export import (
 )
 from repro.telemetry.registry import (
     DEFAULT_BUCKETS,
+    DEFAULT_SAMPLE_CAPACITY,
     Counter,
     Gauge,
     Histogram,
@@ -60,6 +61,13 @@ from repro.telemetry.tracing import (
     TraceContext,
     Tracer,
 )
+from repro.telemetry.otlp import (
+    TELEMETRY_PROTOCOL,
+    TELEMETRY_REPLY_PROTOCOL,
+    TelemetryBatch,
+)
+from repro.telemetry.exporter import TelemetryExporter
+from repro.telemetry.collector import CollectorOptions, CollectorPeer
 
 
 class Telemetry:
@@ -125,8 +133,15 @@ def resolve(telemetry: "Telemetry | NullTelemetry | None") -> "Telemetry | NullT
 
 
 __all__ = [
+    "CollectorOptions",
+    "CollectorPeer",
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_SAMPLE_CAPACITY",
+    "TELEMETRY_PROTOCOL",
+    "TELEMETRY_REPLY_PROTOCOL",
+    "TelemetryBatch",
+    "TelemetryExporter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",

@@ -1,0 +1,259 @@
+"""The collector peer: fold per-peer telemetry deltas into a fleet view.
+
+A :class:`CollectorPeer` is the infrastructure node a production RLN fleet
+would run its observability pipeline on: it owns the ``telemetry``
+protocol channel on the simulated network, decodes
+:class:`~repro.telemetry.otlp.ExportRequest` pushes from every peer's
+:class:`~repro.telemetry.exporter.TelemetryExporter`, and folds the
+delta batches into **per-peer cumulative state** keyed by the batch's
+resource attributes.  Folding is deliberately mechanical:
+
+* counters add their integer deltas (exact),
+* gauges replace (last-value temporality),
+* histograms add their sparse bucket/count deltas and replace the
+  cumulative ``sum``/``min``/``max`` absolutes,
+
+so a peer whose every batch arrived is reconstructed *exactly*, and
+:meth:`fleet_snapshot` — PR 6's proven additive
+:meth:`~repro.telemetry.export.TelemetrySnapshot.merge` over the per-peer
+states — equals the offline merge of per-peer snapshots field for field
+(the E17 assertion).  Retransmissions are dedup'd by the per-peer
+``seq`` (acked but not re-folded), and drop-oldest losses upstream show
+up as sequence gaps the collector counts instead of silently absorbing.
+
+The collector answers fleet questions the process-local registries
+cannot: :meth:`render_prometheus` re-renders the whole deployment's
+metrics as one text exposition, and :meth:`waterfall` rebuilds the
+per-stage trace waterfall (p50/p99 bucket estimates) network-wide, with
+recent :class:`~repro.telemetry.otlp.TraceRecord` exemplars in a bounded
+ring.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.net.simulator import Simulator
+from repro.net.transport import Network
+from repro.telemetry import tracing
+from repro.telemetry.export import TelemetrySnapshot, render_prometheus
+from repro.telemetry.otlp import (
+    CounterDelta,
+    ExportAck,
+    ExportRequest,
+    GaugeValue,
+    HistogramDelta,
+    MetricDelta,
+    TELEMETRY_PROTOCOL,
+    TELEMETRY_REPLY_PROTOCOL,
+    TraceRecord,
+)
+
+
+@dataclass(frozen=True)
+class CollectorOptions:
+    """Fleet-telemetry wiring knobs for :meth:`RLNDeployment.create`."""
+
+    #: Export interval every peer's exporter ticks on (simulated seconds).
+    interval: float = 1.0
+    #: Outbound batch queue bound per exporter (drop-oldest beyond).
+    queue_limit: int = 16
+    #: Per-attempt push timeout / failover rounds (dispatcher knobs).
+    timeout: float = 0.5
+    rounds: int = 2
+    #: Stand up a second collector the exporters fail over to.
+    backup: bool = False
+    #: Waterfall-exemplar bound per batch.
+    max_traces_per_batch: int = 32
+    #: Fleet exemplar ring capacity on each collector.
+    trace_capacity: int = 1024
+
+
+@dataclass
+class CollectorStats:
+    """Collector-side accounting."""
+
+    batches: int = 0
+    metrics_applied: int = 0
+    traces: int = 0
+    #: Retransmissions (seq already folded) — acked, not re-applied.
+    duplicates: int = 0
+    #: Sequence gaps observed (exporter drop-oldest upstream).
+    gaps: int = 0
+    lost_batches: int = 0
+    acks_sent: int = 0
+    malformed: int = 0
+    #: Per-peer cumulative drops the batch headers self-reported.
+    reported_drops: dict[str, int] = field(default_factory=dict)
+
+
+def fold_delta(state: dict[str, dict], delta: MetricDelta) -> None:
+    """Apply one wire delta to a peer's cumulative collected-shape state."""
+    entry = state.get(delta.key)
+    if isinstance(delta, CounterDelta):
+        if entry is None:
+            entry = state[delta.key] = {
+                "name": delta.name,
+                "kind": "counter",
+                "labels": dict(delta.labels),
+                "value": 0,
+            }
+        entry["value"] += delta.delta
+    elif isinstance(delta, GaugeValue):
+        if entry is None:
+            entry = state[delta.key] = {
+                "name": delta.name,
+                "kind": "gauge",
+                "labels": dict(delta.labels),
+            }
+        entry["value"] = delta.value
+    else:
+        assert isinstance(delta, HistogramDelta)
+        bounds = list(delta.bounds)
+        if entry is None:
+            entry = state[delta.key] = {
+                "name": delta.name,
+                "kind": "histogram",
+                "labels": dict(delta.labels),
+                "count": 0,
+                "le": bounds,
+                "buckets": [0] * (len(bounds) + 1),
+            }
+        entry["count"] += delta.count_delta
+        for index, bucket_delta in delta.bucket_deltas:
+            entry["buckets"][index] += bucket_delta
+        # Cumulative absolutes: replace, never accumulate — exact
+        # regardless of float rounding or missed windows.
+        entry["sum"] = delta.sum_total
+        entry["min"] = delta.min_total
+        entry["max"] = delta.max_total
+
+
+class CollectorPeer:
+    """One collector node: fold pushes, ack, aggregate, re-render."""
+
+    def __init__(
+        self,
+        peer_id: str,
+        network: Network,
+        simulator: Simulator,
+        *,
+        trace_capacity: int = 1024,
+    ) -> None:
+        self.peer_id = peer_id
+        self.network = network
+        self.simulator = simulator
+        self.stats = CollectorStats()
+        self._states: dict[str, dict[str, dict]] = {}
+        self._resources: dict[str, dict[str, str]] = {}
+        self._last_seq: dict[str, int] = {}
+        self._traces: deque[tuple[str, TraceRecord]] = deque(maxlen=trace_capacity)
+        network.register(peer_id, self._on_export, protocol=TELEMETRY_PROTOCOL)
+
+    # -- inbound ---------------------------------------------------------------
+
+    def _on_export(self, sender: str, request: Any) -> None:
+        if not isinstance(request, ExportRequest):
+            self.stats.malformed += 1
+            return
+        batch = request.batch
+        last = self._last_seq.get(batch.peer, 0)
+        if batch.seq <= last:
+            # A retransmission of something already folded (the ack was
+            # lost or late): acknowledge again, never double-count.
+            self.stats.duplicates += 1
+        else:
+            if batch.seq > last + 1:
+                self.stats.gaps += 1
+                self.stats.lost_batches += batch.seq - last - 1
+            self._fold(batch)
+            self._last_seq[batch.peer] = batch.seq
+        self.stats.acks_sent += 1
+        self.network.send(
+            self.peer_id,
+            sender,
+            ExportAck(request_id=request.request_id, seq=batch.seq),
+            protocol=TELEMETRY_REPLY_PROTOCOL,
+            require_edge=False,  # direct dial back, not a mesh link
+        )
+
+    def _fold(self, batch) -> None:
+        self.stats.batches += 1
+        self._resources[batch.peer] = {
+            "peer": batch.peer,
+            "role": batch.role,
+            "shard": str(batch.shard),
+        }
+        self.stats.reported_drops[batch.peer] = batch.dropped_batches
+        state = self._states.setdefault(batch.peer, {})
+        for delta in batch.metrics:
+            fold_delta(state, delta)
+        self.stats.metrics_applied += len(batch.metrics)
+        for trace in batch.traces:
+            self._traces.append((batch.peer, trace))
+        self.stats.traces += len(batch.traces)
+
+    # -- fleet views -----------------------------------------------------------
+
+    def peers(self) -> list[str]:
+        return sorted(self._states)
+
+    def resources(self) -> dict[str, dict[str, str]]:
+        return {peer: dict(attrs) for peer, attrs in self._resources.items()}
+
+    def peer_snapshot(self, peer: str) -> TelemetrySnapshot:
+        """One peer's reconstructed cumulative snapshot."""
+        return TelemetrySnapshot.from_collected(self._states.get(peer, {}))
+
+    def fleet_snapshot(self) -> TelemetrySnapshot:
+        """Every peer's state, additively merged (PR 6 semantics)."""
+        fleet = TelemetrySnapshot({})
+        for peer in self.peers():
+            fleet = fleet.merge(self.peer_snapshot(peer))
+        return fleet
+
+    def render_prometheus(self) -> str:
+        """The whole deployment as one Prometheus text exposition."""
+        return render_prometheus(self.fleet_snapshot())
+
+    def recent_traces(self, kind: str | None = None) -> tuple[tuple[str, TraceRecord], ...]:
+        """Recent (peer, trace) exemplars, oldest first."""
+        items = tuple(self._traces)
+        if kind is not None:
+            items = tuple(item for item in items if item[1].kind == kind)
+        return items
+
+    def waterfall(
+        self, kind: str = "bundle", stages: tuple[str, ...] | None = None
+    ) -> list[dict]:
+        """Fleet-wide per-stage waterfall rows from the merged histograms.
+
+        Quantiles are the snapshot's deterministic bucket estimates — the
+        additive representation cannot carry exact order statistics
+        across the wire; rows are ``{stage, count, p50, p90, p99, max}``.
+        """
+        if stages is None:
+            stages = (
+                tracing.BUNDLE_STAGE_ORDER
+                if kind == "bundle"
+                else tracing.REVOCATION_STAGE_ORDER
+            )
+        fleet = self.fleet_snapshot()
+        rows: list[dict] = []
+        for stage in stages:
+            entry = fleet.histogram("trace_stage_seconds", kind=kind, stage=stage)
+            if entry is None or entry["count"] == 0:
+                continue
+            rows.append(
+                {
+                    "stage": stage,
+                    "count": entry["count"],
+                    "p50": entry["quantiles"]["p50"],
+                    "p90": entry["quantiles"]["p90"],
+                    "p99": entry["quantiles"]["p99"],
+                    "max": entry["max"],
+                }
+            )
+        return rows

@@ -73,16 +73,32 @@ class TelemetrySnapshot:
 
     @classmethod
     def of(cls, registry: MetricsRegistry | NullRegistry) -> "TelemetrySnapshot":
-        data = registry.collect()
-        for entry in data.values():
-            if entry["kind"] == "histogram":
-                entry["quantiles"] = {
+        return cls.from_collected(registry.collect())
+
+    @classmethod
+    def from_collected(cls, data: Mapping[str, dict]) -> "TelemetrySnapshot":
+        """Snapshot a ``collect()``-shaped mapping (deep-copied), adding
+        the deterministic bucket-estimate quantiles.
+
+        Shared by :meth:`of` and the telemetry collector, whose per-peer
+        folded state is exactly this shape — so a collector-reconstructed
+        snapshot and a live one are byte-for-byte the same structure.
+        """
+        out: dict[str, dict] = {}
+        for key, entry in data.items():
+            copied = dict(entry)
+            copied["labels"] = dict(entry["labels"])
+            if copied["kind"] == "histogram":
+                copied["le"] = list(entry["le"])
+                copied["buckets"] = list(entry["buckets"])
+                copied["quantiles"] = {
                     f"p{int(q * 100)}": _bucket_quantile(
-                        entry["le"], entry["buckets"], entry["count"], q
+                        copied["le"], copied["buckets"], copied["count"], q
                     )
                     for q in SNAPSHOT_QUANTILES
                 }
-        return cls(data)
+            out[key] = copied
+        return cls(out)
 
     @classmethod
     def from_json(cls, text: str) -> "TelemetrySnapshot":
@@ -152,6 +168,16 @@ class TelemetrySnapshot:
         return f"TelemetrySnapshot({len(self.data)} metrics)"
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus text exposition escaping: ``\\``, ``"`` and newline.
+
+    Label values are user-controlled strings (peer ids, topics, stage
+    names) — interpolating them raw would let one odd id corrupt the
+    whole exposition.
+    """
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
 def render_prometheus(snapshot: TelemetrySnapshot) -> str:
     """The standard text exposition format for one snapshot."""
 
@@ -159,7 +185,7 @@ def render_prometheus(snapshot: TelemetrySnapshot) -> str:
         items = [*sorted(labels.items()), *extra]
         if not items:
             return ""
-        inner = ",".join(f'{k}="{v}"' for k, v in items)
+        inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in items)
         return f"{{{inner}}}"
 
     typed: set[str] = set()

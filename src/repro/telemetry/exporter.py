@@ -1,0 +1,276 @@
+"""The push half of fleet telemetry: snapshot-diff, batch, send, never block.
+
+A :class:`TelemetryExporter` runs beside one peer's
+:class:`~repro.telemetry.Telemetry` hub and periodically turns the live
+registry into :class:`~repro.telemetry.otlp.TelemetryBatch` deltas pushed
+to a collector peer.  Three properties matter more than anything it
+reports:
+
+* **It never backpressures the relay hot path.**  The exporter's only
+  touch on the instrumented subsystems is the registry read it shares
+  with the pull path; its outbound queue is bounded and sheds
+  *oldest-first* when the collector is slow or dead, counting the loss in
+  a self-reported ``telemetry_dropped_batches_total`` counter that rides
+  the next batch like any other metric.
+* **Delta temporality with exact reconstruction.**  Each tick diffs one
+  atomic ``collect()`` pass against the previous one
+  (:func:`~repro.telemetry.otlp.compute_deltas`); the additive fields
+  travel as integer deltas and the non-additive ones as absolutes, so a
+  collector that receives every batch holds the peer's snapshot
+  *exactly* — and one that missed a dropped batch is wrong only by that
+  window's additive increments, never permanently skewed on gauges or
+  histogram ``sum``/``min``/``max``.
+* **Reliability is the dispatcher's problem.**  Batches go out strictly
+  in ``seq`` order, one in flight, through the shared
+  :class:`~repro.net.request.RequestDispatcher` — per-attempt timeout,
+  bounded rounds, failover down the collector list (primary then backup).
+  A batch that exhausts every collector stays queued for the next tick;
+  sustained outage turns into drop-oldest, not memory growth.
+
+Finished traces are exported as bounded waterfall *exemplars*
+(:class:`~repro.telemetry.otlp.TraceRecord`); the aggregated per-stage
+histograms already ride the metric path, so the collector never
+double-counts spans.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.errors import ProtocolError
+from repro.net.request import RequestDispatcher, RequestFailure
+from repro.net.simulator import Simulator
+from repro.net.transport import Network
+from repro.telemetry.otlp import (
+    ExportAck,
+    ExportRequest,
+    TELEMETRY_PROTOCOL,
+    TELEMETRY_REPLY_PROTOCOL,
+    TelemetryBatch,
+    TraceRecord,
+    compute_deltas,
+)
+
+#: Default export interval (simulated seconds).
+DEFAULT_INTERVAL = 1.0
+
+#: Default outbound-queue bound (batches, drop-oldest beyond).
+DEFAULT_QUEUE_LIMIT = 16
+
+
+@dataclass
+class ExporterStats:
+    """Exporter-side accounting (dispatcher reliability lives in
+    ``dispatcher.stats``)."""
+
+    ticks: int = 0
+    batches_built: int = 0
+    batches_sent: int = 0
+    #: Drop-oldest sheds; mirrored as ``telemetry_dropped_batches_total``.
+    batches_dropped: int = 0
+    #: Requests that exhausted every collector (batch requeued).
+    push_failures: int = 0
+    metrics_exported: int = 0
+    traces_exported: int = 0
+    #: Traces over ``max_traces_per_batch`` in one tick (cursor still
+    #: advances — bounded batches, no silent stall).
+    traces_truncated: int = 0
+    #: Traces evicted from a tracer ring before a tick saw them.
+    traces_missed: int = 0
+
+
+class TelemetryExporter:
+    """One peer's periodic delta push to the collector fleet."""
+
+    def __init__(
+        self,
+        peer_id: str,
+        telemetry,
+        network: Network,
+        simulator: Simulator,
+        *,
+        collectors: Sequence[str],
+        role: str = "full",
+        shard: int = -1,
+        interval: float = DEFAULT_INTERVAL,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        timeout: float = 0.5,
+        rounds: int = 2,
+        max_traces_per_batch: int = 32,
+        start: bool = True,
+    ) -> None:
+        if not telemetry.enabled:
+            raise ProtocolError(
+                "TelemetryExporter needs an enabled Telemetry hub; a "
+                "disabled peer has nothing to export"
+            )
+        if not collectors:
+            raise ProtocolError("need at least one collector")
+        if interval <= 0:
+            raise ProtocolError("export interval must be positive")
+        if queue_limit < 1:
+            raise ProtocolError("queue_limit must be >= 1")
+        self.peer_id = peer_id
+        self.telemetry = telemetry
+        self.simulator = simulator
+        self.collectors = list(collectors)
+        self.role = role
+        self.shard = shard
+        self.interval = interval
+        self.queue_limit = queue_limit
+        self.max_traces_per_batch = max_traces_per_batch
+        self.stats = ExporterStats()
+        self.dispatcher = RequestDispatcher(
+            peer_id,
+            network,
+            simulator,
+            protocol=TELEMETRY_PROTOCOL,
+            reply_protocol=TELEMETRY_REPLY_PROTOCOL,
+            timeout=timeout,
+            rounds=rounds,
+            # Collectors are infrastructure, dialed directly: no mesh edge,
+            # so GossipSub never sees them and relay behaviour is untouched.
+            require_edge=False,
+        )
+        #: Self-reported loss: lives in the peer's own registry, so it
+        #: travels (and merges fleet-wide) like any other metric delta.
+        self._m_dropped = telemetry.registry.counter(
+            "telemetry_dropped_batches_total", peer=peer_id
+        )
+        self._last: dict[str, dict] = {}
+        self._trace_cursor: dict[str, int] = {}
+        self._next_seq = 1
+        self._queue: deque[TelemetryBatch] = deque()
+        self._inflight = False
+        self._stop = simulator.every(interval, self.export) if start else None
+
+    # -- the periodic tick -----------------------------------------------------
+
+    def export(self) -> TelemetryBatch | None:
+        """One tick: diff the registry, enqueue the delta, pump the queue."""
+        self.stats.ticks += 1
+        batch = self._build_batch()
+        if batch is not None:
+            self._enqueue(batch)
+        self._pump()
+        return batch
+
+    def flush(self) -> None:
+        """Build and enqueue whatever changed right now (final drain aid).
+
+        The caller still runs the simulator afterwards so the in-flight
+        request can complete; :attr:`pending` reports whether anything is
+        still unacked.
+        """
+        batch = self._build_batch()
+        if batch is not None:
+            self._enqueue(batch)
+        self._pump()
+
+    @property
+    def pending(self) -> bool:
+        """Whether any batch is queued or awaiting its ack."""
+        return self._inflight or bool(self._queue)
+
+    def close(self) -> None:
+        """Stop the periodic ticker (queued batches stay droppable)."""
+        if self._stop is not None:
+            self._stop()
+            self._stop = None
+
+    # -- building --------------------------------------------------------------
+
+    def _build_batch(self) -> TelemetryBatch | None:
+        current = self.telemetry.registry.collect()
+        metrics = compute_deltas(current, self._last)
+        self._last = current
+        traces = self._drain_traces()
+        if not metrics and not traces:
+            return None
+        batch = TelemetryBatch(
+            peer=self.peer_id,
+            role=self.role,
+            shard=self.shard,
+            seq=self._next_seq,
+            time=self.simulator.now,
+            dropped_batches=self.stats.batches_dropped,
+            metrics=metrics,
+            traces=traces,
+        )
+        self._next_seq += 1
+        self.stats.batches_built += 1
+        self.stats.metrics_exported += len(metrics)
+        self.stats.traces_exported += len(traces)
+        return batch
+
+    def _drain_traces(self) -> tuple[TraceRecord, ...]:
+        records: list[TraceRecord] = []
+        for tracer_id, tracer in sorted(self.telemetry.tracers().items()):
+            cursor = self._trace_cursor.get(tracer_id, -1)
+            recent = tracer.recent()
+            if recent and recent[0].trace_id > cursor + 1:
+                # The ring evicted traces this tick never saw.
+                self.stats.traces_missed += recent[0].trace_id - cursor - 1
+            for trace in recent:
+                if trace.trace_id <= cursor:
+                    continue
+                cursor = trace.trace_id
+                if len(records) >= self.max_traces_per_batch:
+                    self.stats.traces_truncated += 1
+                    continue
+                records.append(
+                    TraceRecord(
+                        kind=trace.kind,
+                        origin=trace.origin,
+                        trace_id=trace.trace_id,
+                        marks=tuple(trace.marks),
+                    )
+                )
+            self._trace_cursor[tracer_id] = cursor
+        return tuple(records)
+
+    # -- queueing / sending ----------------------------------------------------
+
+    def _enqueue(self, batch: TelemetryBatch) -> None:
+        if len(self._queue) >= self.queue_limit:
+            self._queue.popleft()
+            self.stats.batches_dropped += 1
+            # Self-reported into the registry: the loss travels in the
+            # *next* batch's counter delta, so the fleet snapshot owns it.
+            self._m_dropped.inc()
+        self._queue.append(batch)
+
+    def _pump(self) -> None:
+        if self._inflight or not self._queue:
+            return
+        batch = self._queue.popleft()
+        self._inflight = True
+
+        def accept(response: Any) -> bool:
+            return (
+                isinstance(response, ExportAck)
+                and response.seq == batch.seq
+                and response.accepted
+            )
+
+        pending = self.dispatcher.request(
+            self.collectors,
+            lambda request_id: ExportRequest(request_id=request_id, batch=batch),
+            accept=accept,
+        )
+
+        def settled(result: Any) -> None:
+            self._inflight = False
+            if isinstance(result, RequestFailure):
+                # Every collector exhausted: keep the batch at the head so
+                # seq order survives; the next tick (or flush) retries,
+                # and drop-oldest bounds a sustained outage.
+                self.stats.push_failures += 1
+                self._queue.appendleft(batch)
+                return
+            self.stats.batches_sent += 1
+            self._pump()
+
+        pending.subscribe(settled)

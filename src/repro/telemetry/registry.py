@@ -25,6 +25,8 @@ Telemetry is *off by default* everywhere: every constructor takes
 
 from __future__ import annotations
 
+import random
+import zlib
 from bisect import bisect_left
 from typing import Iterable, Mapping
 
@@ -37,6 +39,12 @@ from repro.analysis.reporting import percentile
 DEFAULT_BUCKETS: tuple[float, ...] = tuple(
     round(1e-6 * (10 ** (step / 4)), 12) for step in range(33)
 )
+
+#: How many exact samples a histogram retains before switching to
+#: reservoir sampling.  Large enough that every benchmark waterfall stays
+#: exact; small enough that a long-running fleet run is O(1) memory per
+#: histogram instead of O(observations).
+DEFAULT_SAMPLE_CAPACITY = 4096
 
 
 def metric_key(name: str, labels: Mapping[str, str]) -> str:
@@ -83,19 +91,38 @@ class Gauge:
 
 
 class Histogram:
-    """Log-spaced bucket counts plus the exact sample stream.
+    """Log-spaced bucket counts plus a bounded exact-sample reservoir.
 
     ``observe`` is the hot path: one bisect over the fixed bounds, a few
     integer/float updates, one list append — no per-sample object
-    allocation, sorting deferred to the first percentile read.  Samples
-    are retained (a float each) so :meth:`percentile` is *exact*;
-    snapshots export only the bucket counts and summary fields, which is
-    what keeps snapshot merging additive and commutative (exactness
-    lives on the live object, the export carries deterministic bucket
-    estimates).
+    allocation, sorting deferred to the first percentile read.  The first
+    ``sample_capacity`` samples are retained verbatim, so
+    :meth:`percentile` is *exact* for every benchmark-sized stream;
+    beyond that the retained set degrades gracefully into a uniform
+    **reservoir** (Vitter's algorithm R) whose replacement choices are
+    drawn from a private :class:`random.Random` seeded from the metric's
+    canonical label key — deterministic per metric, never touching any
+    simulation RNG, so long-running fleet runs neither grow memory
+    without bound nor perturb modeled behaviour.  Bucket counts, count,
+    sum, min and max stay exact regardless.  Snapshots export only the
+    bucket counts and summary fields, which is what keeps snapshot
+    merging additive and commutative.
     """
 
-    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count", "total", "minimum", "maximum", "_samples", "_dirty")
+    __slots__ = (
+        "name",
+        "labels",
+        "bounds",
+        "bucket_counts",
+        "count",
+        "total",
+        "minimum",
+        "maximum",
+        "sample_capacity",
+        "_samples",
+        "_dirty",
+        "_reservoir_rng",
+    )
 
     kind = "histogram"
 
@@ -105,6 +132,7 @@ class Histogram:
         labels: Mapping[str, str],
         *,
         buckets: Iterable[float] | None = None,
+        sample_capacity: int = DEFAULT_SAMPLE_CAPACITY,
     ) -> None:
         self.name = name
         self.labels = dict(labels)
@@ -118,8 +146,12 @@ class Histogram:
         self.total = 0.0
         self.minimum = float("inf")
         self.maximum = 0.0
+        if sample_capacity < 1:
+            raise ValueError("sample_capacity must be >= 1")
+        self.sample_capacity = sample_capacity
         self._samples: list[float] = []
         self._dirty = False
+        self._reservoir_rng: random.Random | None = None
 
     def observe(self, value: float) -> None:
         self.bucket_counts[bisect_left(self.bounds, value)] += 1
@@ -129,8 +161,21 @@ class Histogram:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
-        self._samples.append(value)
-        self._dirty = True
+        if len(self._samples) < self.sample_capacity:
+            self._samples.append(value)
+            self._dirty = True
+        else:
+            # Algorithm R: sample i (1-based == self.count) replaces a
+            # random slot with probability capacity/i, keeping the
+            # retained set a uniform sample of everything observed.
+            if self._reservoir_rng is None:
+                self._reservoir_rng = random.Random(
+                    zlib.crc32(metric_key(self.name, self.labels).encode("utf-8"))
+                )
+            slot = self._reservoir_rng.randrange(self.count)
+            if slot < self.sample_capacity:
+                self._samples[slot] = value
+                self._dirty = True
 
     # -- exact readouts (benchmark waterfalls) ------------------------------
 
@@ -139,7 +184,12 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, q: float) -> float:
-        """Exact linear-interpolated quantile over every recorded sample."""
+        """Linear-interpolated quantile over the retained samples.
+
+        Exact while ``count <= sample_capacity`` (every sample retained);
+        beyond that, a uniform-reservoir estimate whose rank drift the
+        property suite bounds.
+        """
         if self._dirty:
             self._samples.sort()
             self._dirty = False
@@ -190,10 +240,19 @@ class MetricsRegistry:
         return self._intern(Gauge, name, labels)
 
     def histogram(
-        self, name: str, *, buckets: Iterable[float] | None = None, **labels: str
+        self,
+        name: str,
+        *,
+        buckets: Iterable[float] | None = None,
+        sample_capacity: int = DEFAULT_SAMPLE_CAPACITY,
+        **labels: str,
     ) -> Histogram:
         return self._intern(
-            Histogram, name, labels, buckets=buckets or self._default_buckets
+            Histogram,
+            name,
+            labels,
+            buckets=buckets or self._default_buckets,
+            sample_capacity=sample_capacity,
         )
 
     # -- reading ------------------------------------------------------------

@@ -26,7 +26,7 @@ from repro.gossipsub.router import (
 )
 from repro.gossipsub.scoring import ScoreParams
 from repro.net.simulator import Simulator
-from repro.net.transport import Network
+from repro.net.transport import Network, ProtocolTraffic
 from repro.waku.message import DEFAULT_PUBSUB_TOPIC, WakuMessage
 
 MessageCallback = Callable[[WakuMessage], None]
@@ -118,3 +118,15 @@ class WakuRelay:
     @property
     def stats(self):
         return self.router.stats
+
+    def traffic(self) -> ProtocolTraffic:
+        """This peer's relay-channel (gossipsub) bandwidth slice.
+
+        Excludes request/response channels (store, witness, telemetry…)
+        sharing the wire — the relay side of the telemetry-vs-relay byte
+        split the cost-of-observability benchmark reports.
+        """
+        stats = self.router.network.stats.get(self.peer_id)
+        if stats is None:
+            return ProtocolTraffic()
+        return stats.per_protocol.get("gossipsub", ProtocolTraffic())

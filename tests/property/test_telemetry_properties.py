@@ -116,3 +116,81 @@ def test_empty_snapshot_is_the_identity(stream):
 def test_json_roundtrip_preserves_merge_inputs(stream):
     a = snap(stream)
     assert TelemetrySnapshot.from_json(a.to_json()) == a
+
+
+# -- bounded-reservoir histograms ---------------------------------------------
+#
+# Beyond ``sample_capacity`` the retained samples degrade into a uniform
+# reservoir (Vitter's algorithm R, rng seeded from the metric key).  The
+# claims worth pinning: exactness below capacity, determinism and
+# boundedness always, and a quantile *rank-drift* bound beyond capacity.
+# Which reservoir slots survive depends only on (metric key, n), so an
+# adversarial data *order* could in principle bias the estimate; feeding
+# a seed-shuffled permutation of known ranks keeps the test honest while
+# the drift bound stays many standard errors wide (capacity 256: one
+# standard error of the p50 rank is ~0.031).
+
+import bisect
+import random as stdlib_random
+
+from repro.analysis.reporting import percentile as exact_percentile
+
+CAPACITY = 256
+
+
+def fill(values, capacity=CAPACITY):
+    registry = MetricsRegistry()
+    histogram = registry.histogram("wait_seconds", sample_capacity=capacity)
+    for value in values:
+        histogram.observe(value)
+    return histogram
+
+
+@settings(max_examples=100)
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        max_size=60,
+    )
+)
+def test_percentiles_exact_below_capacity(values):
+    histogram = fill(values, capacity=64)
+    for q in (0.5, 0.9, 0.99):
+        assert histogram.percentile(q) == exact_percentile(sorted(values), q, presorted=True)
+
+
+@settings(max_examples=50)
+@given(st.integers(min_value=300, max_value=2000), st.integers(min_value=0, max_value=2**30))
+def test_reservoir_quantile_rank_drift_is_bounded(n, shuffle_seed):
+    ranks = list(range(n))
+    stdlib_random.Random(shuffle_seed).shuffle(ranks)
+    histogram = fill(float(rank) for rank in ranks)
+    assert len(histogram._samples) == CAPACITY
+    for q, drift in ((0.5, 0.25), (0.99, 0.25)):
+        estimate = histogram.percentile(q)
+        estimated_rank = bisect.bisect_left(sorted(range(n)), estimate) / (n - 1)
+        assert abs(estimated_rank - q) <= drift, (q, estimated_rank)
+    # Exact summary fields never degrade.
+    assert histogram.count == n
+    assert histogram.minimum == 0.0 and histogram.maximum == float(n - 1)
+    assert sum(histogram.bucket_counts) == n
+
+
+@settings(max_examples=50)
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=0,
+        max_size=400,
+    )
+)
+def test_reservoir_is_deterministic_and_bounded(values):
+    first, second = fill(values, capacity=128), fill(values, capacity=128)
+    assert first._samples == second._samples
+    assert len(first._samples) <= 128
+    assert first.percentile(0.5) == second.percentile(0.5)
+    # The retained multiset is drawn from what was observed.
+    observed = sorted(values)
+    for sample in first._samples:
+        index = bisect.bisect_left(observed, sample)
+        assert index < len(observed) and observed[index] == sample

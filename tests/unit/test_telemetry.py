@@ -282,3 +282,28 @@ def test_mirror_stats_fans_out_dataclass_fields():
     )
     with pytest.raises(TypeError):
         mirror_stats(registry, "x", object())
+
+
+def test_render_prometheus_escapes_label_values():
+    registry = MetricsRegistry()
+    registry.counter("events_total", peer='a\\b"c\nd').inc(2)
+    text = render_prometheus(TelemetrySnapshot.of(registry))
+    assert 'events_total{peer="a\\\\b\\"c\\nd"} 2' in text.splitlines()
+    # No raw newline or unescaped quote survives inside the braces.
+    (sample_line,) = [l for l in text.splitlines() if l.startswith("events_total{")]
+    assert "\n" not in sample_line
+    assert sample_line.count('"') == sample_line.count('\\"') + 2
+
+
+def test_histogram_reservoir_bounds_retained_samples():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("wait_seconds", sample_capacity=8)
+    for value in range(100):
+        histogram.observe(float(value))
+    assert len(histogram._samples) == 8
+    assert histogram.count == 100
+    assert sum(histogram.bucket_counts) == 100  # bucket counts stay exact
+    assert histogram.minimum == 0.0 and histogram.maximum == 99.0
+    assert all(0.0 <= sample <= 99.0 for sample in histogram._samples)
+    with pytest.raises(ValueError):
+        registry.histogram("bad_capacity", sample_capacity=0)
