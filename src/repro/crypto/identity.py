@@ -21,25 +21,25 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.crypto.engine import default_engine
 from repro.crypto.field import FieldElement
-from repro.crypto.poseidon import poseidon_hash
 from repro.crypto.shamir import Share, rln_share
 from repro.errors import IdentityError
 
 
 def derive_commitment(sk: FieldElement) -> FieldElement:
     """pk = H(sk)."""
-    return poseidon_hash([sk])
+    return default_engine().hash([sk])
 
 
 def derive_slope(sk: FieldElement, external_nullifier: FieldElement) -> FieldElement:
     """a1 = H(sk, external_nullifier) — the epoch-bound line slope."""
-    return poseidon_hash([sk, external_nullifier])
+    return default_engine().hash([sk, external_nullifier])
 
 
 def derive_internal_nullifier(slope: FieldElement) -> FieldElement:
     """phi = H(a1) = H(H(sk, external_nullifier))."""
-    return poseidon_hash([slope])
+    return default_engine().hash([slope])
 
 
 @dataclass(frozen=True)

@@ -20,11 +20,10 @@ The tree is sparse-aware: untouched subtrees are represented by precomputed
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 from typing import Callable, Iterator, Sequence
 
+from repro.crypto.engine import default_engine
 from repro.crypto.field import FIELD_BYTES, FieldElement, ZERO
-from repro.crypto.poseidon import poseidon2
 from repro.errors import InvalidAuthPath, MerkleError, TreeFullError
 
 #: Depth used by the paper's storage analysis (§IV: depth-20 tree, 67 MB).
@@ -33,8 +32,18 @@ DEFAULT_DEPTH = 20
 #: Two-to-one compression function type for tree nodes.
 NodeHasher = Callable[[FieldElement, FieldElement], FieldElement]
 
+#: Zero-subtree ladders, one growing list per hasher (``None`` keys the
+#: canonical Poseidon ladder, shared by every engine backend — they are
+#: bit-identical by construction).  Rungs are extended on demand and shared
+#: across every depth, so tree/forest construction stops recomputing the
+#: same 20-deep ladder per instantiation.
+_ZERO_LADDERS: dict[NodeHasher | None, list[FieldElement]] = {}
 
-@lru_cache(maxsize=32)
+#: Bound on distinct ad-hoc hashers we keep ladders for (tests that inject
+#: throwaway lambdas must not grow the cache without limit).
+_ZERO_LADDER_LIMIT = 64
+
+
 def zero_hashes(
     depth: int, hasher: NodeHasher | None = None
 ) -> tuple[FieldElement, ...]:
@@ -44,11 +53,19 @@ def zero_hashes(
     A non-default ``hasher`` yields the ladder for trees built over that
     hash (accounting-only trees in the benchmarks inject a cheap one).
     """
-    hash2 = hasher or poseidon2
-    out = [ZERO]
-    for _ in range(depth):
-        out.append(hash2(out[-1], out[-1]))
-    return tuple(out)
+    ladder = _ZERO_LADDERS.get(hasher)
+    if ladder is None:
+        if len(_ZERO_LADDERS) >= _ZERO_LADDER_LIMIT:
+            canonical = _ZERO_LADDERS.get(None)
+            _ZERO_LADDERS.clear()
+            if canonical is not None:
+                _ZERO_LADDERS[None] = canonical
+        ladder = _ZERO_LADDERS[hasher] = [ZERO]
+    if len(ladder) <= depth:
+        hash2 = hasher or default_engine().hash2
+        while len(ladder) <= depth:
+            ladder.append(hash2(ladder[-1], ladder[-1]))
+    return tuple(ladder[: depth + 1])
 
 
 @dataclass(frozen=True)
@@ -72,12 +89,13 @@ class MerkleProof:
 
     def compute_root(self) -> FieldElement:
         """Fold the path upward and return the implied root."""
+        hash2 = default_engine().hash2
         node = self.leaf
         for bit, sibling in zip(self.path_bits, self.siblings):
             if bit:
-                node = poseidon2(sibling, node)
+                node = hash2(sibling, node)
             else:
-                node = poseidon2(node, sibling)
+                node = hash2(node, sibling)
         return node
 
     def verify(self, root: FieldElement) -> bool:
@@ -109,7 +127,7 @@ class MerkleTree:
         self.capacity = 1 << depth
         self._nodes: dict[tuple[int, int], FieldElement] = {}
         self._hasher = hasher
-        self._hash: NodeHasher = hasher or poseidon2
+        self._hash: NodeHasher = hasher or default_engine().hash2
         self._zeros = zero_hashes(depth, hasher)
         self._next_index = 0
         #: Indices freed by deletion, reused before extending the frontier.
@@ -334,19 +352,28 @@ class MerkleTree:
                 tree._nodes[(0, index)] = leaf
             current.append(leaf)
         tree._next_index = len(leaves)
+        # Engine-backed hashers batch whole levels through hash_many, which
+        # amortises the per-call parameter lookup and wrapper overhead.
+        engine = getattr(tree._hash, "engine", None)
         width = len(current)
         for level in range(depth):
             if width == 0:
                 break
             width = (width + 1) // 2
-            above: list[FieldElement] = []
             zero = tree._zeros[level]
-            for i in range(width):
-                left = current[2 * i]
-                right = current[2 * i + 1] if 2 * i + 1 < len(current) else zero
-                parent = tree._hash(left, right)
-                tree.hash_ops += 1
-                above.append(parent)
+            pairs = [
+                (
+                    current[2 * i],
+                    current[2 * i + 1] if 2 * i + 1 < len(current) else zero,
+                )
+                for i in range(width)
+            ]
+            if engine is not None:
+                above = engine.hash_many(pairs)
+            else:
+                above = [tree._hash(left, right) for left, right in pairs]
+            tree.hash_ops += width
+            for i, parent in enumerate(above):
                 tree._set(level + 1, i, parent)
             current = above
         return tree

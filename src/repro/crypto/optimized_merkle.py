@@ -25,9 +25,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.crypto.engine import default_engine
 from repro.crypto.field import FIELD_BYTES, FieldElement
 from repro.crypto.merkle import MerkleProof
-from repro.crypto.poseidon import poseidon2
 from repro.errors import InconsistentTreeUpdate, MerkleError, SyncError
 
 
@@ -137,13 +137,14 @@ def _replay(update: TreeUpdate, depth: int) -> list[FieldElement]:
 
     ``result[0]`` is the new leaf, ``result[depth]`` the new root.
     """
+    hash2 = default_engine().hash2
     nodes = [update.new_leaf]
     node_index = update.index
     for level in range(depth):
         sibling = update.path.siblings[level]
         if node_index & 1:
-            nodes.append(poseidon2(sibling, nodes[-1]))
+            nodes.append(hash2(sibling, nodes[-1]))
         else:
-            nodes.append(poseidon2(nodes[-1], sibling))
+            nodes.append(hash2(nodes[-1], sibling))
         node_index >>= 1
     return nodes

@@ -32,7 +32,7 @@ from repro.crypto.merkle import (
     NodeHasher,
     zero_hashes,
 )
-from repro.crypto.poseidon import poseidon2
+from repro.crypto.engine import default_engine
 from repro.errors import MerkleError, TreeFullError
 
 #: Shard depth used by the paper-scale deployments: 2^10-member shards
@@ -147,7 +147,7 @@ class ShardedMerkleForest:
         self.shard_capacity = 1 << shard_depth
         self.num_shards = 1 << self.top_depth
         self._hasher = hasher
-        self._hash: NodeHasher = hasher or poseidon2
+        self._hash: NodeHasher = hasher or default_engine().hash2
         self._zeros = zero_hashes(depth, hasher)
         #: Root of a fully-empty shard — the lazy-materialisation constant.
         self.empty_shard_root = self._zeros[shard_depth]

@@ -29,8 +29,8 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.crypto.field import FieldElement, ZERO
+from repro.crypto.engine import default_engine
 from repro.crypto.merkle import MerkleProof, MerkleTree, NodeHasher, zero_hashes
-from repro.crypto.poseidon import poseidon2
 from repro.errors import (
     InconsistentTreeUpdate,
     MerkleError,
@@ -116,7 +116,7 @@ class ShardSyncManager:
             raise MerkleError(f"home shard {home_shard} out of range")
         self.home_shard = home_shard
         self.shard_capacity = 1 << shard_depth
-        self._hash: NodeHasher = hasher or poseidon2
+        self._hash: NodeHasher = hasher or default_engine().hash2
         self._zeros = zero_hashes(depth, hasher)
         self.empty_shard_root = self._zeros[shard_depth]
         #: Fully materialised home shard (``None`` for the light view).

@@ -16,7 +16,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.crypto.field import FieldElement
+from repro.crypto.engine import default_engine
+from repro.crypto.field import FIELD_MODULUS, FieldElement
 from repro.crypto.poseidon import ALPHA, PoseidonParams, poseidon_params
 from repro.errors import SnarkError
 from repro.zksnark.r1cs import ConstraintSystem, LinearCombination
@@ -24,13 +25,29 @@ from repro.zksnark.r1cs import ConstraintSystem, LinearCombination
 LC = LinearCombination
 
 
-def sbox_gadget(cs: ConstraintSystem, x: LC, tag: str) -> LC:
-    """x^5 via two squarings and a final multiply: 3 constraints."""
+def sbox_gadget(cs: ConstraintSystem, x: LC, tag: str, value: int | None = None) -> LC:
+    """x^5 via two squarings and a final multiply: 3 constraints.
+
+    ``value`` is the concrete integer value of ``x`` when the caller has
+    already evaluated the permutation natively; the three intermediate
+    witness values are then assigned directly instead of re-evaluating the
+    (wide, post-MDS) linear combinations symbolically.
+    """
     if ALPHA != 5:
         raise SnarkError("sbox_gadget is specialised to alpha = 5")
-    x2 = cs.multiply(x, x, f"{tag}:x2")
-    x4 = cs.multiply(x2, x2, f"{tag}:x4")
-    return cs.multiply(x4, x, f"{tag}:x5")
+    if value is None:
+        x2 = cs.multiply(x, x, f"{tag}:x2")
+        x4 = cs.multiply(x2, x2, f"{tag}:x4")
+        return cs.multiply(x4, x, f"{tag}:x5")
+    # int() guards against backend-native integer types (gmpy2 mpz) leaking
+    # into FieldElement internals.
+    v2 = value * value % FIELD_MODULUS
+    v4 = v2 * v2 % FIELD_MODULUS
+    x2 = cs.multiply(x, x, f"{tag}:x2", value=FieldElement(int(v2)))
+    x4 = cs.multiply(x2, x2, f"{tag}:x4", value=FieldElement(int(v4)))
+    return cs.multiply(
+        x4, x, f"{tag}:x5", value=FieldElement(int(v4 * value % FIELD_MODULUS))
+    )
 
 
 def _mds_mix(state: list[LC], params: PoseidonParams) -> list[LC]:
@@ -44,27 +61,81 @@ def _mds_mix(state: list[LC], params: PoseidonParams) -> list[LC]:
     return mixed
 
 
+def _concrete_rounds(
+    inputs: list[int], tables: tuple, t: int
+) -> list[list[int]]:
+    """Post-constant lane values for every round, reference schedule.
+
+    ``result[r][i]`` is the integer value entering round ``r``'s S-box layer
+    in lane ``i`` — exactly the values the symbolic gadget would recover by
+    evaluating its linear combinations, computed here with the engine's
+    plain-int tables instead.
+    """
+    rc, mds, half_full, total = tables
+    p = FIELD_MODULUS
+    state = list(inputs)
+    rounds: list[list[int]] = []
+    for r in range(total):
+        constants = rc[r]
+        state = [(state[i] + constants[i]) % p for i in range(t)]
+        rounds.append(list(state))
+        if r < half_full or r >= total - half_full:
+            state = [pow(x, 5, p) for x in state]
+        else:
+            state[0] = pow(state[0], 5, p)
+        state = [
+            sum(row[j] * state[j] for j in range(t)) % p for row in mds
+        ]
+    return rounds
+
+
 def poseidon_permutation_gadget(
     cs: ConstraintSystem, state: Sequence[LC], params: PoseidonParams, tag: str
 ) -> list[LC]:
-    """Constrain one Poseidon permutation; returns the output state LCs."""
+    """Constrain one Poseidon permutation; returns the output state LCs.
+
+    When the inputs carry concrete assignments and the active crypto engine
+    exposes integer parameter tables, the whole permutation's witness values
+    are computed natively up front (one int pipeline instead of re-evaluating
+    every post-MDS linear combination three times per S-box).
+    """
     t = params.t
     if len(state) != t:
         raise SnarkError(f"state width {len(state)} != t={t}")
     lanes = list(state)
     half_full = params.full_rounds // 2
     total = params.total_rounds
+    concrete: list[list[int]] | None = None
+    tables = default_engine().int_params(t)
+    if tables is not None:
+        try:
+            inputs = [cs.value_of(lane).value for lane in state]
+        except SnarkError:
+            inputs = None
+        if inputs is not None:
+            concrete = _concrete_rounds(inputs, tables, t)
     for round_index in range(total):
         constants = params.round_constants[round_index]
         lanes = [lanes[i] + LC.constant(constants[i]) for i in range(t)]
         is_full = round_index < half_full or round_index >= total - half_full
+        row = concrete[round_index] if concrete is not None else None
         if is_full:
             lanes = [
-                sbox_gadget(cs, lane, f"{tag}:r{round_index}l{i}")
+                sbox_gadget(
+                    cs,
+                    lane,
+                    f"{tag}:r{round_index}l{i}",
+                    value=row[i] if row is not None else None,
+                )
                 for i, lane in enumerate(lanes)
             ]
         else:
-            lanes[0] = sbox_gadget(cs, lanes[0], f"{tag}:r{round_index}l0")
+            lanes[0] = sbox_gadget(
+                cs,
+                lanes[0],
+                f"{tag}:r{round_index}l0",
+                value=row[0] if row is not None else None,
+            )
         lanes = _mds_mix(lanes, params)
     return lanes
 

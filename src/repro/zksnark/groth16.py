@@ -32,6 +32,7 @@ import hmac
 import secrets
 import time
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Sequence
 
 from repro.crypto.field import FIELD_BYTES
@@ -158,9 +159,23 @@ def setup(depth: int, *, ceremony_participants: int = 3) -> tuple[ProvingKey, Ve
     return ProvingKey(shape=shape, params=params), VerifyingKey(shape=shape, params=params)
 
 
+@lru_cache(maxsize=8)
+def _pairing_key_schedule(secret_tau: bytes) -> "hmac.HMAC":
+    """Keyed HMAC state for one SRS, computed once per ``secret_tau``.
+
+    HMAC's key schedule (two SHA-256 blocks over the padded key) is fixed
+    per verification key; precomputing it and ``copy()``-ing per check
+    mirrors real verifiers caching the pairing-ready verification-key
+    elements across proofs.
+    """
+    return hmac.new(secret_tau, digestmod=hashlib.sha256)
+
+
 def _pairing_tag(params: SetupParameters, statement: bytes, a: bytes, b: bytes) -> bytes:
     """The simulated pairing product: an HMAC binding statement and randomness."""
-    return hmac.new(params.secret_tau, statement + a + b, hashlib.sha256).digest()
+    mac = _pairing_key_schedule(params.secret_tau).copy()
+    mac.update(statement + a + b)
+    return mac.digest()
 
 
 def single_pairing_check(

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field as dataclass_field
 from typing import Iterable, Mapping, Union
 
-from repro.crypto.field import FieldElement
+from repro.crypto.field import FIELD_MODULUS, FieldElement
 from repro.errors import ConstraintViolation, SnarkError
 
 Coefficient = Union[int, FieldElement]
@@ -210,15 +210,21 @@ class ConstraintSystem:
         a: LinearCombination,
         b: LinearCombination,
         annotation: str = "",
+        *,
+        value: FieldElement | None = None,
     ) -> LinearCombination:
         """Allocate ``out = a * b`` with its defining constraint.
 
-        Assigns the product eagerly when both operands are assigned.
+        Assigns the product eagerly when both operands are assigned.  A
+        caller that already knows the product (the Poseidon gadget computes
+        whole permutations natively) passes it via ``value`` to skip the
+        two symbolic evaluations.
         """
-        try:
-            value = self.value_of(a) * self.value_of(b)
-        except SnarkError:
-            value = None
+        if value is None:
+            try:
+                value = self.value_of(a) * self.value_of(b)
+            except SnarkError:
+                value = None
         out = self.allocate(value)
         out_lc = LinearCombination.variable(out)
         self.enforce(a, b, out_lc, annotation)
@@ -255,13 +261,20 @@ class ConstraintSystem:
             )
         if witness[0] != FieldElement(1):
             raise ConstraintViolation("witness[0] must be the constant 1")
+        # Plain-int evaluation: one .value unwrap per witness entry up
+        # front, then pure integer dot products — no FieldElement churn in
+        # the O(constraints x terms) loop.
+        values = [w.value for w in witness]
+        modulus = FIELD_MODULUS
         for i, constraint in enumerate(self.constraints):
-            lhs = constraint.a.evaluate(witness) * constraint.b.evaluate(witness)
-            rhs = constraint.c.evaluate(witness)
-            if lhs != rhs:
+            lhs_a = sum(c.value * values[v] for v, c in constraint.a.terms.items())
+            lhs_b = sum(c.value * values[v] for v, c in constraint.b.terms.items())
+            rhs = sum(c.value * values[v] for v, c in constraint.c.terms.items())
+            if (lhs_a * lhs_b - rhs) % modulus:
                 label = constraint.annotation or f"constraint {i}"
+                lhs = lhs_a * lhs_b % modulus
                 raise ConstraintViolation(
-                    f"{label}: {lhs.value} != {rhs.value} (index {i})"
+                    f"{label}: {lhs} != {rhs % modulus} (index {i})"
                 )
 
     def is_satisfied(self, witness: list[FieldElement] | None = None) -> bool:
