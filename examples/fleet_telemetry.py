@@ -10,19 +10,29 @@ collector folds them into per-peer state and re-renders the *whole
 deployment* as one Prometheus exposition and one fleet-wide stage
 waterfall.
 
+With ``trace_sample=1.0`` every publish additionally mints a distributed
+trace: a :class:`~repro.telemetry.disttrace.SpanContext` rides the
+message through the mesh, every hop's validation becomes a child span,
+and the collector's :class:`~repro.telemetry.disttrace.TraceAssembler`
+stitches the exported spans back into the publish's propagation tree.
+
 Run:  python examples/fleet_telemetry.py
 """
 
 from repro.core import RLNConfig, RLNDeployment
+from repro.telemetry import CollectorOptions
 
 
 def main() -> None:
     print("== WAKU-RLN-RELAY fleet telemetry ==\n")
 
-    # 1. Same one-call deployment as quickstart, plus the collector.
+    # 1. Same one-call deployment as quickstart, plus the collector —
+    #    here with distributed tracing on (default is 0.0: span-free
+    #    wire, bit-identical relay).
     config = RLNConfig(epoch_length=30.0, max_epoch_gap=2, tree_depth=10)
     deployment = RLNDeployment.create(
-        peer_count=10, degree=4, seed=1, config=config, collector=True
+        peer_count=10, degree=4, seed=1, config=config,
+        collector=CollectorOptions(trace_sample=1.0),
     )
     deployment.register_all()
     deployment.form_meshes()
@@ -68,6 +78,24 @@ def main() -> None:
 
     spam = deployment.total_spam_detected()
     print(f"\nspam detections observed fleet-wide: {spam}")
+
+    # 7. One assembled propagation tree, hop by hop (the richest one —
+    #    a spam publish even shows the evidence spans under each verdict).
+    trees = collector.assembler.trees()
+    exemplar = max(
+        (t for t in trees if t.complete and t.relay_spans()),
+        key=lambda t: t.span_count,
+        default=None,
+    )
+    if exemplar is not None:
+        print(f"\npropagation tree {exemplar.to_json()['trace_id'][:16]}… "
+              f"({exemplar.span_count} spans, {exemplar.hops} hops, "
+              f"max fan-out {exemplar.max_fanout}, "
+              f"end-to-end {exemplar.end_to_end * 1e3:.1f}ms):")
+        print(exemplar.render())
+        q = collector.assembler.quantiles()
+        print(f"\nfleet publish->verdict latency over {len(trees)} traces: "
+              f"p50={q['p50'] * 1e3:.1f}ms p99={q['p99'] * 1e3:.1f}ms")
 
 
 if __name__ == "__main__":

@@ -133,7 +133,9 @@ class RLNDeployment:
             )
             peer_telemetry = telemetry
             if collector is not None:
-                peer_telemetry = telemetries[peer_id] = Telemetry()
+                peer_telemetry = telemetries[peer_id] = Telemetry(
+                    trace_sample=collector.trace_sample
+                )
             peers[peer_id] = WakuRLNRelayPeer(
                 peer_id,
                 network=network,
@@ -178,6 +180,7 @@ class RLNDeployment:
                     timeout=collector.timeout,
                     rounds=collector.rounds,
                     max_traces_per_batch=collector.max_traces_per_batch,
+                    max_spans_per_batch=collector.max_spans_per_batch,
                 )
         deployment = cls(
             simulator=simulator,

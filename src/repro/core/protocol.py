@@ -34,7 +34,7 @@ experiments can *be* the spammer.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field as dataclass_field
+from dataclasses import dataclass, field as dataclass_field, replace as dataclass_replace
 from typing import Callable
 
 from repro.chain.blockchain import Blockchain
@@ -149,6 +149,16 @@ class WakuRLNRelayPeer:
         )
         self.slasher = Slasher(peer_id, chain, contract.address)
         self.relay.set_validator(self._validate)
+        # Distributed tracing (PR 9): the pipeline above already minted
+        # this peer's DistTracer (simulator-clocked) through the hub.
+        # The rewrite hook goes in whenever telemetry is live — inbound
+        # contexts are honoured regardless of the *local* sampling rate
+        # (head sampling: the root decides once) — and its first branch
+        # returns untraced messages unchanged, so trace_sample=0.0 keeps
+        # the relay path allocation-free and bit-identical.
+        self.disttracer = self.telemetry.disttracer(peer_id)
+        if self.telemetry.enabled:
+            self.relay.set_trace_rewriter(self._rewrite_trace)
 
         self.received: list[WakuMessage] = []
         self.relay.subscribe(self.received.append)
@@ -272,9 +282,19 @@ class WakuRLNRelayPeer:
                 f"(one message per {self.config.epoch_length}s epoch)"
             )
         message = self._build_message(payload, content_topic, epoch)
+        # Distributed tracing (PR 9): head-sample at the root.  A minted
+        # publish span rides the message as its SpanContext; every relay
+        # hop then becomes a child span on the receiving peer.  At
+        # trace_sample=0.0 ``span`` is None and the message is untouched.
+        span = self.disttracer.begin_publish()
+        if span is not None:
+            span.mark("proof")
+            message = message.with_trace(span.context)
         self._published_epochs[epoch] = count + 1
         self.stats.published += 1
         self.relay.publish(message)
+        if span is not None:
+            span.finish()
         return message
 
     def _build_message(
@@ -314,18 +334,24 @@ class WakuRLNRelayPeer:
     ) -> "ValidationResult | DeferredValidation":
         # No framing pre-check here: the pipeline's stage-1 prefilter
         # classifies a non-WakuMessage payload as MALFORMED (-> REJECT).
+        payload = pubsub_message.payload
+        trace_parent = getattr(payload, "trace", None)
+        msg_id = pubsub_message.msg_id
         result = self.pipeline.validate(
             sender,
-            pubsub_message.payload,
+            payload,
             self.current_epoch(),
-            pubsub_message.msg_id,
+            msg_id,
             topic=pubsub_message.topic,
             now=self.simulator.now,
+            trace_parent=trace_parent,
         )
         if isinstance(result, PendingVerdict):
             deferred = DeferredValidation()
             result.subscribe(
-                lambda verdict: deferred.resolve(self._apply_verdict(verdict))
+                lambda verdict: deferred.resolve(
+                    self._apply_verdict(verdict, msg_id=msg_id)
+                )
             )
             return deferred
         if result.retryable:
@@ -333,18 +359,60 @@ class WakuRLNRelayPeer:
             # router's seen-cache too, so a later copy from any neighbour
             # is validated once the bucket refills instead of being
             # suppressed as a duplicate for the whole seen TTL.
-            self.relay.router.forget_seen(pubsub_message.msg_id)
-        return self._apply_verdict(result)
+            self.relay.router.forget_seen(msg_id)
+        return self._apply_verdict(result, msg_id=msg_id)
 
-    def _apply_verdict(self, verdict: Verdict) -> ValidationResult:
+    def _rewrite_trace(self, pubsub_message: PubSubMessage) -> PubSubMessage:
+        """Re-stamp an accepted message's span context with our own span.
+
+        Called by the router just before an ACCEPTed message is cached
+        and forwarded: the outbound copy's parent must be *this* peer's
+        validation span (registered under the msg id when the pipeline
+        began it), not the span of whoever forwarded to us.  Untraced
+        messages pass through untouched — the trace_sample=0.0 fast path.
+        A traced message whose validation span was already evicted from
+        the route table is *stripped* instead of forwarded with a stale
+        parent: a truncated tree is honest, a mis-parented one is not.
+        """
+        payload = pubsub_message.payload
+        if getattr(payload, "trace", None) is None:
+            return pubsub_message
+        outbound = self.disttracer.outbound_context(pubsub_message.msg_id)
+        if outbound is None:
+            self.disttracer.rewrites_missed += 1
+        return dataclass_replace(
+            pubsub_message, payload=payload.with_trace(outbound)
+        )
+
+    def _apply_verdict(
+        self, verdict: Verdict, *, msg_id: bytes | None = None
+    ) -> ValidationResult:
         """Run the spam side effects of a pipeline verdict; return the action."""
         if verdict.outcome is ValidationOutcome.SPAM:
             assert verdict.evidence is not None
             self.stats.spam_detected += 1
+            evidence = verdict.evidence
+            # Link the evidence hand-off into the propagation tree: a
+            # child of this peer's validation span for the convicting
+            # message, and the context the revocation coordinator's
+            # commit-reveal span will chain from.
+            parent = (
+                self.disttracer.outbound_context(msg_id)
+                if msg_id is not None
+                else None
+            )
+            if parent is not None:
+                now = self.simulator.now
+                ectx = self.disttracer.link(
+                    parent, kind="evidence", start=now, end=now
+                )
+                self.disttracer.set_revocation_context(
+                    (evidence.internal_nullifier.value, evidence.epoch), ectx
+                )
             for callback in list(self._spam_callbacks):
-                callback(verdict.evidence)
+                callback(evidence)
             if self.auto_slash:
-                self._begin_slash(verdict.evidence)
+                self._begin_slash(evidence)
         return verdict.action
 
     def _on_rate_limit_overflow(self, sender: str) -> None:
@@ -464,6 +532,7 @@ class WakuRLNRelayPeer:
         timeout: float = 0.5,
         rounds: int = 2,
         max_traces_per_batch: int = 32,
+        max_spans_per_batch: int = 64,
     ):
         """Run the fleet-telemetry push role: delta batches to a collector.
 
@@ -496,6 +565,7 @@ class WakuRLNRelayPeer:
                 timeout=timeout,
                 rounds=rounds,
                 max_traces_per_batch=max_traces_per_batch,
+                max_spans_per_batch=max_spans_per_batch,
             )
         return self._telemetry_exporter
 

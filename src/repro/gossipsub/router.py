@@ -167,6 +167,14 @@ class GossipSubRouter:
             history_length=self.params.mcache_length,
             gossip_length=self.params.mcache_gossip,
         )
+        #: Optional distributed-tracing hook (PR 9): called once per
+        #: ACCEPTed message *before* it is cached, delivered and
+        #: forwarded, returning the message to propagate — the RLN layer
+        #: uses it to re-stamp the payload's span context with this
+        #: peer's own span, so mcache copies and IWANT re-serves carry
+        #: the true causal parent.  ``None`` (the default, and the whole
+        #: disabled path) touches nothing.
+        self._trace_rewriter: Callable[[PubSubMessage], PubSubMessage] | None = None
         self._started = False
         self._stop_heartbeat: Callable[[], None] | None = None
 
@@ -218,6 +226,12 @@ class GossipSubRouter:
     def set_validator(self, topic: str, validator: Validator) -> None:
         """Install the message validator for a topic (the RLN hook)."""
         self._validators[topic] = validator
+
+    def set_trace_rewriter(
+        self, rewriter: "Callable[[PubSubMessage], PubSubMessage] | None"
+    ) -> None:
+        """Install the per-hop span-context re-stamp hook (PR 9)."""
+        self._trace_rewriter = rewriter
 
     def publish(self, topic: str, payload: Any, msg_id: bytes) -> PubSubMessage:
         """Publish a message authored by this peer."""
@@ -406,6 +420,11 @@ class GossipSubRouter:
             return
         if self.scoring:
             self.scoring.on_first_delivery(sender)
+        if self._trace_rewriter is not None:
+            # Re-stamp the span context with *this* peer's span before the
+            # message is cached or forwarded, so downstream hops (and
+            # IWANT re-serves out of mcache) name the true causal parent.
+            message = self._trace_rewriter(message)
         self._mcache.put(message)
         self._deliver_locally(message)
         self._forward(message, exclude={sender})

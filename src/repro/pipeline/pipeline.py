@@ -276,9 +276,17 @@ class ValidationPipeline:
         *,
         topic: str = "",
         now: float = 0.0,
+        trace_parent=None,
     ) -> "Verdict | PendingVerdict":
-        """Run one bundle through the stages; sync verdict or a promise."""
-        trace = self.tracer.begin()
+        """Run one bundle through the stages; sync verdict or a promise.
+
+        ``trace_parent`` is the inbound message's distributed
+        :class:`~repro.telemetry.disttrace.SpanContext` (PR 9), if any:
+        the whole validation trace becomes a child span of the sender's
+        hop, keyed by ``msg_id`` so the relay layer can re-stamp the
+        forwarded copy with this peer's own span.
+        """
+        trace = self.tracer.begin(parent=trace_parent, key=msg_id)
         # Stage 1 — stateless gates and dedup (no field arithmetic).
         gate = self.prefilter.check(message, local_epoch, msg_id, topic)
         trace.mark(tracing.PREFILTER)

@@ -143,6 +143,11 @@ class SlashingCoordinator:
         self._m_gas = registry.counter("slashing_gas_spent_wei_total", peer=account)
         self._m_rewards = registry.counter("slashing_rewards_wei_total", peer=account)
         self._tracer = self.telemetry.tracer(account, clock=lambda: simulator.now)
+        #: Distributed tracing (PR 9): shared with the peer's protocol
+        #: (same hub, same peer id), so evidence contexts it registered
+        #: under (nullifier, epoch) are visible here and the commit-reveal
+        #: race joins the spam message's propagation tree.
+        self._dist = self.telemetry.disttracer(account)
         self._case_traces: dict[tuple[int, int], object] = {}
         self.cases: list[RevocationCase] = []
         self._case_by_key: dict[tuple[int, int], RevocationCase] = {}
@@ -168,9 +173,22 @@ class SlashingCoordinator:
         if key in self._case_by_key:
             return None
         trace = self._tracer.begin(kind="revocation")
+        observed_at = self.simulator.now
         attempt = self.slasher.begin(evidence)  # Shamir recovery + commit
         trace.mark(COMMIT_REVEAL)
         self._case_traces[key] = trace
+        # Chain the commit-reveal span off the evidence span the
+        # validation path registered for this case (if the verdict that
+        # produced the evidence was traced).
+        ectx = self._dist.revocation_context(key)
+        if ectx is not None:
+            cctx = self._dist.link(
+                ectx,
+                kind="commit-reveal",
+                start=observed_at,
+                end=self.simulator.now,
+            )
+            self._dist.set_revocation_context(key, cctx)
         case = RevocationCase(
             nullifier=key[0],
             epoch=key[1],
@@ -253,9 +271,25 @@ class SlashingCoordinator:
             if case.removed_at is None and case.spammer_pk.value == pk:
                 case.removed_at = self.simulator.now
                 case.removed_index = event.data["index"]
-                trace = self._case_traces.pop((case.nullifier, case.epoch), None)
+                key = (case.nullifier, case.epoch)
+                trace = self._case_traces.pop(key, None)
                 if trace is not None:
                     trace.mark(MEMBER_REMOVED)
                     self._tracer.finish(trace)
+                # Close the distributed chain: the removal span covers
+                # evidence → on-chain deletion, and its context is re-keyed
+                # by leaf index so tree-sync observers (window collapse)
+                # can link exclusion spans without knowing the nullifier.
+                cctx = self._dist.revocation_context(key)
+                if cctx is not None:
+                    rctx = self._dist.link(
+                        cctx,
+                        kind="member-removed",
+                        start=case.evidence_at,
+                        end=self.simulator.now,
+                    )
+                    self._dist.set_revocation_context(
+                        ("index", case.removed_index), rctx
+                    )
                 for callback in list(self._removed_callbacks):
                     callback(case)

@@ -61,6 +61,15 @@ from repro.telemetry.tracing import (
     TraceContext,
     Tracer,
 )
+from repro.telemetry.disttrace import (
+    DistTracer,
+    NULL_DISTTRACER,
+    NullDistTracer,
+    PropagationTree,
+    SpanContext,
+    SpanRecord,
+    TraceAssembler,
+)
 from repro.telemetry.otlp import (
     TELEMETRY_PROTOCOL,
     TELEMETRY_REPLY_PROTOCOL,
@@ -75,10 +84,18 @@ class Telemetry:
 
     enabled = True
 
-    def __init__(self, *, trace_capacity: int = 256) -> None:
+    def __init__(
+        self, *, trace_capacity: int = 256, trace_sample: float = 0.0
+    ) -> None:
         self.registry = MetricsRegistry()
         self.trace_capacity = trace_capacity
+        #: Head-sampling probability for *distributed* traces (PR 9).
+        #: 0.0 (default) mints no span contexts: zero wire overhead and
+        #: bit-identical relay behaviour; the sampling RNG is per-peer
+        #: and dedicated, so any rate perturbs nothing outside tracing.
+        self.trace_sample = trace_sample
         self._tracers: dict[str, Tracer] = {}
+        self._disttracers: dict[str, DistTracer] = {}
 
     def tracer(
         self, peer_id: str, *, clock: Callable[[], float] | None = None
@@ -89,12 +106,33 @@ class Telemetry:
             tracer = self._tracers[peer_id] = Tracer(
                 peer_id, self.registry, clock=clock, capacity=self.trace_capacity
             )
+            tracer.dist = self.disttracer(peer_id, clock=clock)
         elif clock is not None:
             tracer.clock = clock
+            tracer.dist.clock = tracer.clock
         return tracer
 
     def tracers(self) -> dict[str, Tracer]:
         return dict(self._tracers)
+
+    def disttracer(
+        self, peer_id: str, *, clock: Callable[[], float] | None = None
+    ) -> DistTracer:
+        """The (cached) distributed-span tracer for ``peer_id``."""
+        dist = self._disttracers.get(peer_id)
+        if dist is None:
+            dist = self._disttracers[peer_id] = DistTracer(
+                peer_id,
+                sample=self.trace_sample,
+                clock=clock,
+                capacity=self.trace_capacity,
+            )
+        elif clock is not None:
+            dist.clock = clock
+        return dist
+
+    def disttracers(self) -> dict[str, DistTracer]:
+        return dict(self._disttracers)
 
     def snapshot(self) -> TelemetrySnapshot:
         return TelemetrySnapshot.of(self.registry)
@@ -108,6 +146,7 @@ class NullTelemetry:
 
     enabled = False
     registry = NULL_REGISTRY
+    trace_sample = 0.0
 
     def tracer(
         self, peer_id: str, *, clock: Callable[[], float] | None = None
@@ -115,6 +154,14 @@ class NullTelemetry:
         return NULL_TRACER
 
     def tracers(self) -> dict[str, Tracer]:
+        return {}
+
+    def disttracer(
+        self, peer_id: str, *, clock: Callable[[], float] | None = None
+    ) -> NullDistTracer:
+        return NULL_DISTTRACER
+
+    def disttracers(self) -> dict[str, DistTracer]:
         return {}
 
     def snapshot(self) -> TelemetrySnapshot:
@@ -138,6 +185,13 @@ __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
     "DEFAULT_SAMPLE_CAPACITY",
+    "DistTracer",
+    "NULL_DISTTRACER",
+    "NullDistTracer",
+    "PropagationTree",
+    "SpanContext",
+    "SpanRecord",
+    "TraceAssembler",
     "TELEMETRY_PROTOCOL",
     "TELEMETRY_REPLY_PROTOCOL",
     "TelemetryBatch",

@@ -38,6 +38,7 @@ from typing import Any
 from repro.net.simulator import Simulator
 from repro.net.transport import Network
 from repro.telemetry import tracing
+from repro.telemetry.disttrace import TraceAssembler
 from repro.telemetry.export import TelemetrySnapshot, render_prometheus
 from repro.telemetry.otlp import (
     CounterDelta,
@@ -69,6 +70,12 @@ class CollectorOptions:
     max_traces_per_batch: int = 32
     #: Fleet exemplar ring capacity on each collector.
     trace_capacity: int = 1024
+    #: Distributed-tracing head-sampling probability (PR 9).  0.0 keeps
+    #: the wire span-free and relay behaviour bit-identical; 1.0 traces
+    #: every publish into a collector-assembled propagation tree.
+    trace_sample: float = 0.0
+    #: Span bound per exported batch (cursor discipline like traces).
+    max_spans_per_batch: int = 64
 
 
 @dataclass
@@ -78,6 +85,8 @@ class CollectorStats:
     batches: int = 0
     metrics_applied: int = 0
     traces: int = 0
+    #: Distributed-tracing spans folded into the assembler.
+    spans: int = 0
     #: Retransmissions (seq already folded) — acked, not re-applied.
     duplicates: int = 0
     #: Sequence gaps observed (exporter drop-oldest upstream).
@@ -149,7 +158,15 @@ class CollectorPeer:
         self._states: dict[str, dict[str, dict]] = {}
         self._resources: dict[str, dict[str, str]] = {}
         self._last_seq: dict[str, int] = {}
-        self._traces: deque[tuple[str, TraceRecord]] = deque(maxlen=trace_capacity)
+        #: Exemplar ring entries are (collector_seq, peer, record): the
+        #: monotone seq lets pollers resume where they left off instead
+        #: of re-reading the whole deque (see :meth:`recent_traces`).
+        self._traces: deque[tuple[int, str, TraceRecord]] = deque(
+            maxlen=trace_capacity
+        )
+        self._next_trace_seq = 1
+        #: Propagation-tree assembly from exported spans (PR 9).
+        self.assembler = TraceAssembler()
         network.register(peer_id, self._on_export, protocol=TELEMETRY_PROTOCOL)
 
     # -- inbound ---------------------------------------------------------------
@@ -192,8 +209,12 @@ class CollectorPeer:
             fold_delta(state, delta)
         self.stats.metrics_applied += len(batch.metrics)
         for trace in batch.traces:
-            self._traces.append((batch.peer, trace))
+            self._traces.append((self._next_trace_seq, batch.peer, trace))
+            self._next_trace_seq += 1
         self.stats.traces += len(batch.traces)
+        for span in batch.spans:
+            self.assembler.add(span)
+        self.stats.spans += len(batch.spans)
 
     # -- fleet views -----------------------------------------------------------
 
@@ -218,21 +239,46 @@ class CollectorPeer:
         """The whole deployment as one Prometheus text exposition."""
         return render_prometheus(self.fleet_snapshot())
 
-    def recent_traces(self, kind: str | None = None) -> tuple[tuple[str, TraceRecord], ...]:
-        """Recent (peer, trace) exemplars, oldest first."""
-        items = tuple(self._traces)
+    @property
+    def last_trace_seq(self) -> int:
+        """The newest exemplar's collector seq (a poller's next cursor)."""
+        return self._next_trace_seq - 1
+
+    def recent_traces(
+        self, kind: str | None = None, *, since_seq: int = 0
+    ) -> tuple[tuple[int, str, TraceRecord], ...]:
+        """Recent (seq, peer, trace) exemplars, oldest first.
+
+        ``since_seq`` returns only exemplars newer than a previously seen
+        collector seq, so a benchmark polling every interval reads each
+        exemplar once instead of re-scanning the whole deque.  The seq is
+        monotone across the ring's evictions: a poller that fell behind
+        sees the gap in the numbering.
+        """
+        items: "tuple[tuple[int, str, TraceRecord], ...]" = tuple(self._traces)
+        if since_seq > 0:
+            items = tuple(item for item in items if item[0] > since_seq)
         if kind is not None:
-            items = tuple(item for item in items if item[1].kind == kind)
+            items = tuple(item for item in items if item[2].kind == kind)
         return items
 
     def waterfall(
-        self, kind: str = "bundle", stages: tuple[str, ...] | None = None
+        self,
+        kind: str = "bundle",
+        stages: tuple[str, ...] | None = None,
+        *,
+        exemplars: int = 0,
+        since_seq: int = 0,
     ) -> list[dict]:
         """Fleet-wide per-stage waterfall rows from the merged histograms.
 
         Quantiles are the snapshot's deterministic bucket estimates — the
         additive representation cannot carry exact order statistics
         across the wire; rows are ``{stage, count, p50, p90, p99, max}``.
+        ``exemplars > 0`` attaches up to that many per-stage exemplar
+        durations drawn from the newest trace records — filtered by
+        ``since_seq`` like :meth:`recent_traces`, so repeated polls don't
+        re-walk the whole exemplar ring.
         """
         if stages is None:
             stages = (
@@ -240,20 +286,29 @@ class CollectorPeer:
                 if kind == "bundle"
                 else tracing.REVOCATION_STAGE_ORDER
             )
+        stage_exemplars: dict[str, list[float]] = {}
+        if exemplars > 0:
+            for _seq, _peer, record in self.recent_traces(kind, since_seq=since_seq):
+                for (_, prev_t), (stage, t) in zip(record.marks, record.marks[1:]):
+                    durations = stage_exemplars.setdefault(stage, [])
+                    durations.append(t - prev_t)
+                    if len(durations) > exemplars:
+                        durations.pop(0)
         fleet = self.fleet_snapshot()
         rows: list[dict] = []
         for stage in stages:
             entry = fleet.histogram("trace_stage_seconds", kind=kind, stage=stage)
             if entry is None or entry["count"] == 0:
                 continue
-            rows.append(
-                {
-                    "stage": stage,
-                    "count": entry["count"],
-                    "p50": entry["quantiles"]["p50"],
-                    "p90": entry["quantiles"]["p90"],
-                    "p99": entry["quantiles"]["p99"],
-                    "max": entry["max"],
-                }
-            )
+            row = {
+                "stage": stage,
+                "count": entry["count"],
+                "p50": entry["quantiles"]["p50"],
+                "p90": entry["quantiles"]["p90"],
+                "p99": entry["quantiles"]["p99"],
+                "max": entry["max"],
+            }
+            if exemplars > 0:
+                row["exemplars"] = tuple(stage_exemplars.get(stage, ()))
+            rows.append(row)
         return rows

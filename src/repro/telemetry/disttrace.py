@@ -1,0 +1,735 @@
+"""Cross-peer distributed tracing: causal propagation trees on the wire.
+
+PR 6's :class:`~repro.telemetry.tracing.TraceContext` measures one peer's
+stage waterfall; PR 7's collector merges those waterfalls — but nothing
+connects *this* peer's verdict to the upstream hop that forwarded the
+bundle.  This module is the W3C-traceparent analogue for the simulated
+fleet:
+
+* :class:`SpanContext` — the compact wire extension (128-bit trace id,
+  the sender's 64-bit span id, the sender's hop count, the origin peer)
+  minted at publish time and carried inside
+  :class:`~repro.waku.message.WakuMessage` through GossipSub forwarding.
+  Each relay hop re-stamps the context with its *own* span id before
+  forwarding, so the receiver's span always points at the true causal
+  parent (including mcache/IWANT re-serves, which serve the re-stamped
+  copy).
+* :class:`DistTracer` — one peer's span mint.  ``begin_publish`` decides
+  **head sampling** once, at the root (probability ``sample``; the
+  decision rides the wire, downstream peers honour it regardless of
+  their own rate).  ``child`` hangs the peer's existing pipeline
+  ``TraceContext`` under the inbound hop; ``link`` attaches leaf spans
+  (witness fetches, the revocation evidence path) to any live context.
+  Sampling draws from a **dedicated** per-peer RNG — never the router's
+  — so enabling tracing perturbs no mesh shuffle, and ``sample=0.0``
+  mints nothing: zero wire bytes, bit-identical seed behaviour.
+* :class:`SpanRecord` — the finished-span wire type shipped in
+  :class:`~repro.telemetry.otlp.TelemetryBatch` (bounded per tick,
+  drop-oldest, per-tracer cursor — the same discipline as metric
+  deltas).
+* :class:`TraceAssembler` — the collector side: stitch per-peer spans
+  into rooted :class:`PropagationTree` objects and answer the questions
+  merged histograms cannot — per-hop latency, fan-out degree, duplicate
+  deliveries, the end-to-end critical path, and fleet p50/p99
+  publish→verdict latency *per assembled trace*.
+
+Everything is self-contained (no imports from the rest of the telemetry
+package) so the wire layer in :mod:`repro.telemetry.otlp` can embed
+:class:`SpanRecord` without an import cycle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import random
+import struct
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.errors import ProtocolError
+
+#: Parent sentinel of a root span (a real span id is never 0: it is a
+#: 64-bit truncated SHA-256 of a unique mint string).
+NO_PARENT = 0
+
+Marks = tuple[tuple[str, float], ...]
+
+
+def _encode_str(value: str) -> bytes:
+    data = value.encode("utf-8")
+    if len(data) > 0xFFFF:
+        raise ProtocolError(f"string too long for wire ({len(data)} bytes)")
+    return struct.pack(">H", len(data)) + data
+
+
+def _decode_str(data: bytes, offset: int) -> tuple[str, int]:
+    (length,) = struct.unpack_from(">H", data, offset)
+    offset += 2
+    end = offset + length
+    if end > len(data):
+        raise ProtocolError("truncated string")
+    return data[offset:end].decode("utf-8"), end
+
+
+# -- wire types ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The on-the-wire trace context: who to hang the next span under.
+
+    ``span_id`` is the *sender's* span (the causal parent of whatever the
+    receiver mints); ``hop`` is the sender's hop count (the receiver's
+    span sits at ``hop + 1``); ``origin`` is the publishing peer.
+    """
+
+    trace_id: int
+    span_id: int
+    hop: int
+    origin: str
+
+    def child_hop(self) -> int:
+        return self.hop + 1
+
+    def to_bytes(self) -> bytes:
+        return (
+            self.trace_id.to_bytes(16, "big")
+            + struct.pack(">QH", self.span_id, self.hop)
+            + _encode_str(self.origin)
+        )
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int = 0) -> tuple["SpanContext", int]:
+        if offset + 26 > len(data):
+            raise ProtocolError("truncated SpanContext")
+        trace_id = int.from_bytes(data[offset : offset + 16], "big")
+        span_id, hop = struct.unpack_from(">QH", data, offset + 16)
+        origin, offset = _decode_str(data, offset + 26)
+        return cls(trace_id=trace_id, span_id=span_id, hop=hop, origin=origin), offset
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SpanContext":
+        ctx, offset = cls.decode(data, 0)
+        if offset != len(data):
+            raise ProtocolError("trailing bytes after SpanContext")
+        return ctx
+
+    def byte_size(self) -> int:
+        return 26 + 2 + len(self.origin.encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span as exported to the collector.
+
+    ``seq`` is the minting peer's local monotone counter (the exporter's
+    cursor key — ring eviction shows up as a ``seq`` gap, exactly like
+    :class:`~repro.telemetry.otlp.TraceRecord` ids); ``parent_id`` is
+    :data:`NO_PARENT` for a root publish span.
+    """
+
+    trace_id: int
+    span_id: int
+    parent_id: int
+    seq: int
+    peer: str
+    origin: str
+    kind: str
+    hop: int
+    start: float
+    end: float
+    marks: Marks = ()
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_bytes(self) -> bytes:
+        out = [
+            self.trace_id.to_bytes(16, "big"),
+            struct.pack(">QQQHdd", self.span_id, self.parent_id, self.seq,
+                        self.hop, self.start, self.end),
+            _encode_str(self.peer),
+            _encode_str(self.origin),
+            _encode_str(self.kind),
+            struct.pack(">H", len(self.marks)),
+        ]
+        for stage, stamp in self.marks:
+            out.append(_encode_str(stage))
+            out.append(struct.pack(">d", stamp))
+        return b"".join(out)
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int = 0) -> tuple["SpanRecord", int]:
+        if offset + 58 > len(data):
+            raise ProtocolError("truncated SpanRecord")
+        trace_id = int.from_bytes(data[offset : offset + 16], "big")
+        span_id, parent_id, seq, hop, start, end = struct.unpack_from(
+            ">QQQHdd", data, offset + 16
+        )
+        offset += 58
+        peer, offset = _decode_str(data, offset)
+        origin, offset = _decode_str(data, offset)
+        kind, offset = _decode_str(data, offset)
+        (n_marks,) = struct.unpack_from(">H", data, offset)
+        offset += 2
+        marks = []
+        for _ in range(n_marks):
+            stage, offset = _decode_str(data, offset)
+            (stamp,) = struct.unpack_from(">d", data, offset)
+            offset += 8
+            marks.append((stage, stamp))
+        return (
+            cls(
+                trace_id=trace_id,
+                span_id=span_id,
+                parent_id=parent_id,
+                seq=seq,
+                peer=peer,
+                origin=origin,
+                kind=kind,
+                hop=hop,
+                start=start,
+                end=end,
+                marks=tuple(marks),
+            ),
+            offset,
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SpanRecord":
+        record, offset = cls.decode(data, 0)
+        if offset != len(data):
+            raise ProtocolError("trailing bytes after SpanRecord")
+        return record
+
+    def byte_size(self) -> int:
+        return len(self.to_bytes())
+
+
+@dataclass(frozen=True)
+class DistLink:
+    """A child span opened at relay ingress, closed by ``Tracer.finish``."""
+
+    trace_id: int
+    span_id: int
+    parent_id: int
+    hop: int
+    origin: str
+
+
+class PublishSpan:
+    """The root span handle: covers publish intent to mesh injection.
+
+    For a light member this spans the witness fetch too (the fetch rides
+    as a linked child), so the root's duration is the member-observed
+    publish cost.
+    """
+
+    __slots__ = ("_tracer", "trace_id", "span_id", "start", "marks", "_done")
+
+    def __init__(self, tracer: "DistTracer", trace_id: int, span_id: int) -> None:
+        self._tracer = tracer
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.start = tracer.clock()
+        self.marks: list[tuple[str, float]] = []
+        self._done = False
+
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(
+            trace_id=self.trace_id,
+            span_id=self.span_id,
+            hop=0,
+            origin=self._tracer.peer_id,
+        )
+
+    def mark(self, stage: str) -> None:
+        self.marks.append((stage, self._tracer.clock()))
+
+    def finish(self) -> None:
+        if self._done:
+            return
+        self._done = True
+        self._tracer.record(
+            trace_id=self.trace_id,
+            span_id=self.span_id,
+            parent_id=NO_PARENT,
+            kind="publish",
+            hop=0,
+            origin=self._tracer.peer_id,
+            start=self.start,
+            end=self._tracer.clock(),
+            marks=tuple(self.marks),
+        )
+
+
+class DistTracer:
+    """One peer's distributed-span mint, ring buffer, and route table."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        peer_id: str,
+        *,
+        sample: float = 0.0,
+        clock: Callable[[], float] | None = None,
+        capacity: int = 256,
+        route_capacity: int = 4096,
+    ) -> None:
+        if not 0.0 <= sample <= 1.0:
+            raise ProtocolError(f"trace_sample must be in [0, 1], got {sample}")
+        self.peer_id = peer_id
+        self.sample = sample
+        self.clock: Callable[[], float] = clock or (lambda: 0.0)
+        # Dedicated sampling RNG: drawing from a shared router RNG would
+        # perturb mesh shuffles and break every bit-identity comparison.
+        self._rng = random.Random(
+            int.from_bytes(hashlib.sha256(peer_id.encode()).digest()[:8], "big")
+        )
+        self._mint = itertools.count()
+        self._seq = itertools.count()
+        self._ring: deque[SpanRecord] = deque(maxlen=capacity)
+        #: msg_id -> the context *this* peer forwards (its own span as
+        #: parent), written at ingress, read by the router's rewriter.
+        self._outbound: dict[bytes, SpanContext] = {}
+        self._outbound_order: deque[bytes] = deque()
+        self._route_capacity = route_capacity
+        #: Live revocation-case contexts, keyed by whatever the caller
+        #: uses to correlate (evidence case tuples, leaf indices).
+        self._revocations: dict[object, SpanContext] = {}
+        self._revocation_order: deque[object] = deque()
+        #: Contexts the rewriter could not resolve (route table evicted):
+        #: the trace is truncated rather than misattributed.
+        self.rewrites_missed = 0
+
+    # -- id minting ------------------------------------------------------------
+
+    def _mint_id(self, width: int) -> int:
+        seed = f"{self.peer_id}:{next(self._mint)}".encode()
+        return int.from_bytes(hashlib.sha256(seed).digest()[:width], "big") or 1
+
+    # -- span lifecycle ---------------------------------------------------------
+
+    def begin_publish(self) -> PublishSpan | None:
+        """Head-sampling decision + root span mint (None: not sampled)."""
+        if self.sample <= 0.0:
+            return None
+        if self.sample < 1.0 and self._rng.random() >= self.sample:
+            return None
+        return PublishSpan(self, self._mint_id(16), self._mint_id(8))
+
+    def child(self, parent: SpanContext, key: bytes | None = None) -> DistLink:
+        """Open the relay-hop child span and register the outbound route.
+
+        ``key`` (the pubsub msg id) is what the router's trace rewriter
+        resolves when forwarding: the stored context carries *this*
+        peer's new span id, so downstream spans attach to the true
+        causal parent.
+        """
+        span_id = self._mint_id(8)
+        link = DistLink(
+            trace_id=parent.trace_id,
+            span_id=span_id,
+            parent_id=parent.span_id,
+            hop=parent.child_hop(),
+            origin=parent.origin,
+        )
+        if key is not None:
+            if key not in self._outbound:
+                self._outbound_order.append(key)
+                if len(self._outbound_order) > self._route_capacity:
+                    self._outbound.pop(self._outbound_order.popleft(), None)
+            self._outbound[key] = SpanContext(
+                trace_id=link.trace_id,
+                span_id=span_id,
+                hop=link.hop,
+                origin=link.origin,
+            )
+        return link
+
+    def finish_child(self, link: DistLink, *, kind: str, marks: Iterable[tuple[str, float]]) -> None:
+        """Close a hop span from its pipeline trace's mark trail."""
+        marks = tuple(marks)
+        now = self.clock()
+        self.record(
+            trace_id=link.trace_id,
+            span_id=link.span_id,
+            parent_id=link.parent_id,
+            kind=kind,
+            hop=link.hop,
+            origin=link.origin,
+            start=marks[0][1] if marks else now,
+            end=marks[-1][1] if marks else now,
+            marks=marks,
+        )
+
+    def link(
+        self,
+        parent: SpanContext,
+        *,
+        kind: str,
+        start: float,
+        end: float,
+        marks: Marks = (),
+    ) -> SpanContext:
+        """Record a linked leaf span (witness fetch, evidence, …) and
+        return its context so follow-up work can chain further spans."""
+        span_id = self._mint_id(8)
+        self.record(
+            trace_id=parent.trace_id,
+            span_id=span_id,
+            parent_id=parent.span_id,
+            kind=kind,
+            hop=parent.hop,
+            origin=parent.origin,
+            start=start,
+            end=end,
+            marks=marks,
+        )
+        return SpanContext(
+            trace_id=parent.trace_id,
+            span_id=span_id,
+            hop=parent.hop,
+            origin=parent.origin,
+        )
+
+    def record(
+        self,
+        *,
+        trace_id: int,
+        span_id: int,
+        parent_id: int,
+        kind: str,
+        hop: int,
+        origin: str,
+        start: float,
+        end: float,
+        marks: Marks = (),
+    ) -> SpanRecord:
+        record = SpanRecord(
+            trace_id=trace_id,
+            span_id=span_id,
+            parent_id=parent_id,
+            seq=next(self._seq),
+            peer=self.peer_id,
+            origin=origin,
+            kind=kind,
+            hop=hop,
+            start=start,
+            end=end,
+            marks=marks,
+        )
+        self._ring.append(record)
+        return record
+
+    # -- routing ----------------------------------------------------------------
+
+    def outbound_context(self, key: bytes) -> SpanContext | None:
+        return self._outbound.get(key)
+
+    # -- revocation correlation --------------------------------------------------
+
+    def set_revocation_context(self, key: object, ctx: SpanContext) -> None:
+        if key not in self._revocations:
+            self._revocation_order.append(key)
+            if len(self._revocation_order) > 256:
+                self._revocations.pop(self._revocation_order.popleft(), None)
+        self._revocations[key] = ctx
+
+    def revocation_context(self, key: object) -> SpanContext | None:
+        return self._revocations.get(key)
+
+    # -- export -----------------------------------------------------------------
+
+    def recent(self) -> tuple[SpanRecord, ...]:
+        """The ring's contents, oldest first (the exporter's read path)."""
+        return tuple(self._ring)
+
+
+class NullDistTracer:
+    """The disabled twin: mints nothing, routes nothing, keeps nothing."""
+
+    enabled = False
+    sample = 0.0
+    peer_id = ""
+    rewrites_missed = 0
+    clock = staticmethod(lambda: 0.0)
+
+    def begin_publish(self) -> None:
+        return None
+
+    def child(self, parent: object, key: object = None) -> None:
+        return None
+
+    def finish_child(self, link: object, *, kind: str = "", marks: object = ()) -> None:
+        return None
+
+    def link(self, parent: object, **kwargs: object) -> None:
+        return None
+
+    def outbound_context(self, key: object) -> None:
+        return None
+
+    def set_revocation_context(self, key: object, ctx: object) -> None:
+        return None
+
+    def revocation_context(self, key: object) -> None:
+        return None
+
+    def recent(self) -> tuple[SpanRecord, ...]:
+        return ()
+
+
+NULL_DISTTRACER = NullDistTracer()
+
+
+# -- assembly (collector side) -------------------------------------------------
+
+
+@dataclass
+class PropagationTree:
+    """One trace's spans stitched into a rooted causal tree."""
+
+    trace_id: int
+    root: SpanRecord
+    spans: dict[int, SpanRecord]
+    children: dict[int, tuple[SpanRecord, ...]]
+    #: Every non-root span's parent resolved and exactly one root found.
+    complete: bool = True
+
+    # -- structure ---------------------------------------------------------------
+
+    @property
+    def span_count(self) -> int:
+        return len(self.spans)
+
+    @property
+    def hops(self) -> int:
+        """Deepest relay hop in the tree (root is hop 0)."""
+        return max(span.hop for span in self.spans.values())
+
+    @property
+    def peers(self) -> frozenset[str]:
+        return frozenset(span.peer for span in self.spans.values())
+
+    def relay_spans(self) -> tuple[SpanRecord, ...]:
+        """The per-hop validation spans (publish root and linked leaves
+        excluded)."""
+        return tuple(
+            span
+            for span in self.spans.values()
+            if span.parent_id != NO_PARENT and span.kind not in LINKED_KINDS
+        )
+
+    def fanout(self, span_id: int) -> int:
+        """Relay fan-out degree of one span (linked leaf spans excluded)."""
+        return sum(
+            1 for child in self.children.get(span_id, ())
+            if child.kind not in LINKED_KINDS
+        )
+
+    @property
+    def max_fanout(self) -> int:
+        return max(
+            (self.fanout(span_id) for span_id in self.spans), default=0
+        )
+
+    @property
+    def duplicate_deliveries(self) -> int:
+        """Relay spans beyond the first per peer — a peer that judged the
+        same bundle twice (seen-cache expiry, IWANT refetch)."""
+        seen: set[str] = set()
+        duplicates = 0
+        for span in self.relay_spans():
+            if span.peer in seen:
+                duplicates += 1
+            else:
+                seen.add(span.peer)
+        return duplicates
+
+    # -- latency -----------------------------------------------------------------
+
+    def hop_latency(self, span: SpanRecord) -> float:
+        """Parent span start to this span's start: queueing + transit."""
+        parent = self.spans.get(span.parent_id)
+        return span.start - (parent.start if parent else self.root.start)
+
+    def per_hop_latencies(self) -> list[tuple[int, float]]:
+        return [(span.hop, self.hop_latency(span)) for span in self.relay_spans()]
+
+    @property
+    def end_to_end(self) -> float:
+        """Publish to the last relay verdict (the trace's full spread)."""
+        ends = [span.end for span in self.relay_spans()]
+        return (max(ends) - self.root.start) if ends else self.root.duration
+
+    def critical_path(self) -> list[SpanRecord]:
+        """Root → the last-finishing relay span, via parent links."""
+        relay = self.relay_spans()
+        if not relay:
+            return [self.root]
+        tip = max(relay, key=lambda span: (span.end, span.hop))
+        path = [tip]
+        while path[-1].parent_id != NO_PARENT:
+            parent = self.spans.get(path[-1].parent_id)
+            if parent is None:
+                break
+            path.append(parent)
+        return list(reversed(path))
+
+    # -- rendering ---------------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "trace_id": f"{self.trace_id:032x}",
+            "origin": self.root.peer,
+            "complete": self.complete,
+            "spans": self.span_count,
+            "peers": len(self.peers),
+            "hops": self.hops,
+            "max_fanout": self.max_fanout,
+            "duplicate_deliveries": self.duplicate_deliveries,
+            "end_to_end_seconds": self.end_to_end,
+            "critical_path": [
+                {"peer": span.peer, "kind": span.kind, "hop": span.hop,
+                 "start": span.start, "end": span.end}
+                for span in self.critical_path()
+            ],
+            "tree": self._json_node(self.root),
+        }
+
+    def _json_node(self, span: SpanRecord) -> dict:
+        return {
+            "peer": span.peer,
+            "kind": span.kind,
+            "hop": span.hop,
+            "start": span.start,
+            "end": span.end,
+            "children": [
+                self._json_node(child)
+                for child in sorted(
+                    self.children.get(span.span_id, ()),
+                    key=lambda s: (s.start, s.peer),
+                )
+            ],
+        }
+
+    def render(self) -> str:
+        """Human-readable propagation tree (the example's output)."""
+        lines: list[str] = []
+
+        def walk(span: SpanRecord, depth: int) -> None:
+            latency = span.start - self.root.start
+            lines.append(
+                f"{'  ' * depth}{span.peer:<12} {span.kind:<14} hop={span.hop} "
+                f"+{latency * 1e3:7.2f}ms  ({span.duration * 1e3:.2f}ms)"
+            )
+            for child in sorted(
+                self.children.get(span.span_id, ()), key=lambda s: (s.start, s.peer)
+            ):
+                walk(child, depth + 1)
+
+        walk(self.root, 0)
+        return "\n".join(lines)
+
+
+#: Span kinds that are linked leaves, not relay hops (they never widen
+#: the propagation tree's fan-out or delivery accounting).
+LINKED_KINDS = frozenset(
+    {
+        "witness-fetch",
+        "witness-serve",
+        "evidence",
+        "commit-reveal",
+        "member-removed",
+        "window-collapse",
+    }
+)
+
+
+class TraceAssembler:
+    """Stitch exported spans into propagation trees, fleet-wide."""
+
+    def __init__(self) -> None:
+        self._spans: dict[int, dict[int, SpanRecord]] = {}
+        #: Retransmitted spans dropped on arrival (same trace + span id).
+        self.duplicates = 0
+
+    def add(self, record: SpanRecord) -> None:
+        spans = self._spans.setdefault(record.trace_id, {})
+        if record.span_id in spans:
+            self.duplicates += 1
+            return
+        spans[record.span_id] = record
+
+    @property
+    def span_count(self) -> int:
+        return sum(len(spans) for spans in self._spans.values())
+
+    def trace_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(self._spans))
+
+    def spans(self, trace_id: int) -> tuple[SpanRecord, ...]:
+        return tuple(
+            sorted(self._spans.get(trace_id, {}).values(), key=lambda s: s.start)
+        )
+
+    def tree(self, trace_id: int) -> PropagationTree | None:
+        """Assemble one trace; ``None`` when no root span arrived yet."""
+        spans = self._spans.get(trace_id)
+        if not spans:
+            return None
+        roots = [span for span in spans.values() if span.parent_id == NO_PARENT]
+        if len(roots) != 1:
+            return None
+        children: dict[int, list[SpanRecord]] = {}
+        complete = True
+        for span in spans.values():
+            if span.parent_id == NO_PARENT:
+                continue
+            if span.parent_id not in spans:
+                complete = False
+                continue
+            children.setdefault(span.parent_id, []).append(span)
+        return PropagationTree(
+            trace_id=trace_id,
+            root=roots[0],
+            spans=dict(spans),
+            children={k: tuple(v) for k, v in children.items()},
+            complete=complete,
+        )
+
+    def trees(self) -> list[PropagationTree]:
+        found = (self.tree(trace_id) for trace_id in self.trace_ids())
+        return [tree for tree in found if tree is not None]
+
+    # -- fleet latency ------------------------------------------------------------
+
+    def latencies(self) -> list[float]:
+        """Publish→verdict per relay span across every assembled trace."""
+        out: list[float] = []
+        for tree in self.trees():
+            root_start = tree.root.start
+            out.extend(span.end - root_start for span in tree.relay_spans())
+        return out
+
+    def quantiles(self) -> dict[str, float | int]:
+        """Fleet publish→verdict p50/p99 from assembled traces."""
+        samples = sorted(self.latencies())
+        if not samples:
+            return {"count": 0, "p50": 0.0, "p99": 0.0, "max": 0.0}
+
+        def at(q: float) -> float:
+            return samples[min(len(samples) - 1, int(q * len(samples)))]
+
+        return {
+            "count": len(samples),
+            "p50": at(0.50),
+            "p99": at(0.99),
+            "max": samples[-1],
+        }

@@ -41,6 +41,7 @@ from typing import Any, Sequence
 
 from repro.errors import ProtocolError
 from repro.net.request import RequestDispatcher, RequestFailure
+from repro.telemetry.disttrace import SpanRecord
 from repro.net.simulator import Simulator
 from repro.net.transport import Network
 from repro.telemetry.otlp import (
@@ -79,6 +80,16 @@ class ExporterStats:
     traces_truncated: int = 0
     #: Traces evicted from a tracer ring before a tick saw them.
     traces_missed: int = 0
+    #: Distributed-tracing spans (PR 9), same cursor discipline.
+    spans_exported: int = 0
+    spans_truncated: int = 0
+    spans_missed: int = 0
+    #: ``close()``'s final drain: batches built at close time and the
+    #: traces/spans they rescued from behind the per-tracer cursors —
+    #: proof the last partial tick strands nothing.
+    close_flush_batches: int = 0
+    close_flush_traces: int = 0
+    close_flush_spans: int = 0
 
 
 class TelemetryExporter:
@@ -99,6 +110,7 @@ class TelemetryExporter:
         timeout: float = 0.5,
         rounds: int = 2,
         max_traces_per_batch: int = 32,
+        max_spans_per_batch: int = 64,
         start: bool = True,
     ) -> None:
         if not telemetry.enabled:
@@ -121,6 +133,7 @@ class TelemetryExporter:
         self.interval = interval
         self.queue_limit = queue_limit
         self.max_traces_per_batch = max_traces_per_batch
+        self.max_spans_per_batch = max_spans_per_batch
         self.stats = ExporterStats()
         self.dispatcher = RequestDispatcher(
             peer_id,
@@ -141,6 +154,7 @@ class TelemetryExporter:
         )
         self._last: dict[str, dict] = {}
         self._trace_cursor: dict[str, int] = {}
+        self._span_cursor: dict[str, int] = {}
         self._next_seq = 1
         self._queue: deque[TelemetryBatch] = deque()
         self._inflight = False
@@ -175,10 +189,23 @@ class TelemetryExporter:
         return self._inflight or bool(self._queue)
 
     def close(self) -> None:
-        """Stop the periodic ticker (queued batches stay droppable)."""
+        """Stop the ticker and drain what the last tick never saw.
+
+        A peer shutting down mid-interval would otherwise strand finished
+        traces/spans behind the per-tracer cursors forever; the final
+        build rescues them into one last (queued, droppable) batch, and
+        ``stats.close_flush_*`` proves exactly what it rescued.
+        """
         if self._stop is not None:
             self._stop()
             self._stop = None
+        batch = self._build_batch()
+        if batch is not None:
+            self.stats.close_flush_batches += 1
+            self.stats.close_flush_traces += len(batch.traces)
+            self.stats.close_flush_spans += len(batch.spans)
+            self._enqueue(batch)
+        self._pump()
 
     # -- building --------------------------------------------------------------
 
@@ -187,7 +214,8 @@ class TelemetryExporter:
         metrics = compute_deltas(current, self._last)
         self._last = current
         traces = self._drain_traces()
-        if not metrics and not traces:
+        spans = self._drain_spans()
+        if not metrics and not traces and not spans:
             return None
         batch = TelemetryBatch(
             peer=self.peer_id,
@@ -198,11 +226,13 @@ class TelemetryExporter:
             dropped_batches=self.stats.batches_dropped,
             metrics=metrics,
             traces=traces,
+            spans=spans,
         )
         self._next_seq += 1
         self.stats.batches_built += 1
         self.stats.metrics_exported += len(metrics)
         self.stats.traces_exported += len(traces)
+        self.stats.spans_exported += len(spans)
         return batch
 
     def _drain_traces(self) -> tuple[TraceRecord, ...]:
@@ -229,6 +259,31 @@ class TelemetryExporter:
                     )
                 )
             self._trace_cursor[tracer_id] = cursor
+        return tuple(records)
+
+    def _drain_spans(self) -> tuple["SpanRecord", ...]:
+        """Distributed-tracing spans past each peer-tracer's cursor.
+
+        Mirrors :meth:`_drain_traces`: the cursor keys on the per-peer
+        monotone ``seq``, ring eviction shows up as a gap counted in
+        ``spans_missed``, and ``max_spans_per_batch`` bounds the batch
+        while the cursor still advances (no silent stall).
+        """
+        records: list[SpanRecord] = []
+        for tracer_id, dist in sorted(self.telemetry.disttracers().items()):
+            cursor = self._span_cursor.get(tracer_id, -1)
+            recent = dist.recent()
+            if recent and recent[0].seq > cursor + 1:
+                self.stats.spans_missed += recent[0].seq - cursor - 1
+            for span in recent:
+                if span.seq <= cursor:
+                    continue
+                cursor = span.seq
+                if len(records) >= self.max_spans_per_batch:
+                    self.stats.spans_truncated += 1
+                    continue
+                records.append(span)
+            self._span_cursor[tracer_id] = cursor
         return tuple(records)
 
     # -- queueing / sending ----------------------------------------------------

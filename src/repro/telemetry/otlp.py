@@ -44,6 +44,7 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from repro.errors import ProtocolError
+from repro.telemetry.disttrace import SpanRecord
 from repro.telemetry.registry import DEFAULT_BUCKETS, metric_key
 
 #: Protocol channel export requests travel on (peer -> collector).
@@ -391,6 +392,10 @@ class TelemetryBatch:
     dropped_batches: int
     metrics: tuple[MetricDelta, ...]
     traces: tuple[TraceRecord, ...] = ()
+    #: Finished distributed-tracing spans (PR 9): bounded per tick and
+    #: cursor-drained exactly like ``traces``; empty (2 wire bytes) when
+    #: sampling is off.
+    spans: tuple[SpanRecord, ...] = ()
 
     def to_bytes(self) -> bytes:
         out = [
@@ -406,6 +411,9 @@ class TelemetryBatch:
         out.append(struct.pack(">I", len(self.traces)))
         for trace in self.traces:
             out.append(trace.to_bytes())
+        out.append(struct.pack(">H", len(self.spans)))
+        for span in self.spans:
+            out.append(span.to_bytes())
         return b"".join(out)
 
     @classmethod
@@ -431,6 +439,12 @@ class TelemetryBatch:
             for _ in range(n_traces):
                 trace, offset = TraceRecord.decode(data, offset)
                 traces.append(trace)
+            (n_spans,) = struct.unpack_from(">H", data, offset)
+            offset += 2
+            spans = []
+            for _ in range(n_spans):
+                span, offset = SpanRecord.decode(data, offset)
+                spans.append(span)
         except (struct.error, IndexError) as exc:
             raise ProtocolError(f"malformed TelemetryBatch: {exc}") from exc
         return (
@@ -443,6 +457,7 @@ class TelemetryBatch:
                 dropped_batches=dropped,
                 metrics=tuple(metrics),
                 traces=tuple(traces),
+                spans=tuple(spans),
             ),
             offset,
         )

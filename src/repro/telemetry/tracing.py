@@ -81,7 +81,7 @@ class Span:
 class TraceContext:
     """The per-bundle trail of (stage, simulated-time) marks."""
 
-    __slots__ = ("trace_id", "kind", "origin", "marks", "_clock")
+    __slots__ = ("trace_id", "kind", "origin", "marks", "dist", "_clock")
 
     def __init__(
         self, trace_id: int, kind: str, origin: str, clock: Callable[[], float]
@@ -90,6 +90,10 @@ class TraceContext:
         self.kind = kind
         self.origin = origin
         self._clock = clock
+        #: Distributed-trace link (a :class:`~repro.telemetry.disttrace
+        #: .DistLink`) when this trace is a child span of an inbound
+        #: relay hop; ``None`` for process-local traces.
+        self.dist = None
         self.marks: list[tuple[str, float]] = [(INGRESS if kind == "bundle" else EVIDENCE, clock())]
 
     def mark(self, stage: str) -> None:
@@ -123,6 +127,7 @@ class NullTrace:
     trace_id = -1
     kind = "null"
     origin = ""
+    dist = None
     marks: list[tuple[str, float]] = []
     started_at = 0.0
     ended_at = 0.0
@@ -154,16 +159,34 @@ class Tracer:
         self.clock: Callable[[], float] = clock or (lambda: 0.0)
         self._ids = itertools.count()
         self._ring: deque[TraceContext] = deque(maxlen=capacity)
+        #: This peer's :class:`~repro.telemetry.disttrace.DistTracer`,
+        #: attached by the hub: when an inbound span context rides a
+        #: ``begin(parent=…)``, the minted trace doubles as the child
+        #: span of that relay hop and is exported as a ``SpanRecord``.
+        self.dist = None
 
-    def begin(self, kind: str = "bundle") -> TraceContext:
-        """Mint a trace at the current simulated instant (relay ingress)."""
-        return TraceContext(next(self._ids), kind, self.peer_id, self.clock)
+    def begin(
+        self, kind: str = "bundle", *, parent=None, key: bytes | None = None
+    ) -> TraceContext:
+        """Mint a trace at the current simulated instant (relay ingress).
+
+        ``parent`` is an inbound :class:`~repro.telemetry.disttrace
+        .SpanContext`: the trace becomes that hop's child span, and
+        ``key`` (the pubsub msg id) registers the re-stamped outbound
+        context the router's trace rewriter forwards.
+        """
+        trace = TraceContext(next(self._ids), kind, self.peer_id, self.clock)
+        if parent is not None and self.dist is not None:
+            trace.dist = self.dist.child(parent, key)
+        return trace
 
     def finish(self, trace: TraceContext | NullTrace) -> None:
         """Archive a completed trace and fold its spans into histograms."""
         if trace is NULL_TRACE:
             return
         assert isinstance(trace, TraceContext)
+        if trace.dist is not None and self.dist is not None:
+            self.dist.finish_child(trace.dist, kind=trace.kind, marks=trace.marks)
         self._ring.append(trace)
         for span in trace.spans():
             self.registry.histogram(
@@ -186,8 +209,11 @@ class NullTracer:
     """The disabled tracer: mints the shared no-op trace, keeps nothing."""
 
     peer_id = ""
+    dist = None
 
-    def begin(self, kind: str = "bundle") -> NullTrace:
+    def begin(
+        self, kind: str = "bundle", *, parent=None, key: bytes | None = None
+    ) -> NullTrace:
         return NULL_TRACE
 
     def finish(self, trace: object) -> None:

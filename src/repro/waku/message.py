@@ -12,9 +12,12 @@ typed as ``Any`` here because the proof structure lives in
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.crypto.hashing import message_id
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.disttrace import SpanContext
 
 #: The default pubsub topic of Waku v2 networks.
 DEFAULT_PUBSUB_TOPIC = "/waku/2/default-waku/proto"
@@ -29,6 +32,12 @@ class WakuMessage:
     timestamp: float = 0.0
     ephemeral: bool = False
     rate_limit_proof: Any = None
+    #: Optional distributed-tracing envelope extension (PR 9): the
+    #: sender's :class:`~repro.telemetry.disttrace.SpanContext`.  NOT
+    #: part of :meth:`message_id` (ids are content-derived, so every
+    #: relay hop re-stamping the context leaves message identity — and
+    #: seen-cache dedup — untouched); ``None`` costs zero wire bytes.
+    trace: "SpanContext | None" = None
 
     def message_id(self, pubsub_topic: str = DEFAULT_PUBSUB_TOPIC) -> bytes:
         """Deterministic 32-byte id (content-addressed; no sender identity)."""
@@ -42,8 +51,14 @@ class WakuMessage:
         if proof is not None:
             inner = getattr(proof, "byte_size", None)
             size += int(inner()) if callable(inner) else 128
+        if self.trace is not None:
+            size += self.trace.byte_size()
         return size
 
     def with_proof(self, proof: Any) -> "WakuMessage":
         """Copy of this message carrying a rate-limit proof."""
         return replace(self, rate_limit_proof=proof)
+
+    def with_trace(self, trace: "SpanContext | None") -> "WakuMessage":
+        """Copy of this message carrying (or stripped of) a span context."""
+        return replace(self, trace=trace)

@@ -222,6 +222,11 @@ class WitnessClient:
             rounds=rounds,
         )
         self.telemetry = resolve_telemetry(telemetry)
+        #: Distributed tracing (PR 9): traced publishes link their
+        #: witness fetches into the propagation tree.
+        self.disttracer = self.telemetry.disttracer(
+            peer_id, clock=lambda: simulator.now
+        )
         registry = self.telemetry.registry
         self._m_fetch_rtt = registry.histogram(
             "witness_fetch_rtt_seconds", peer=peer_id
@@ -258,11 +263,16 @@ class WitnessClient:
         on_error: Callable[[RequestFailure], None] | None = None,
         *,
         expected_leaf: FieldElement | None = None,
+        trace=None,
     ) -> None:
         """Deliver a verified witness for ``index`` — cached (O(1), the
         publish path) or fetched from the provider set.  ``expected_leaf``
         additionally pins the path's leaf (a member fetching its own slot
-        passes its commitment).
+        passes its commitment).  ``trace`` (PR 9) is the publish span's
+        :class:`~repro.telemetry.disttrace.SpanContext`: a fetch then
+        records a "witness-fetch" child span (cache hits cost nothing and
+        record nothing — the whole point of the cache is that the publish
+        path never waits).
 
         A slot observed revoked (:meth:`on_shard_event` saw a
         :class:`~repro.treesync.messages.ShardRemoval` matching the pin)
@@ -312,7 +322,9 @@ class WitnessClient:
         if self.validator_stats is not None:
             self.validator_stats.witness_cache_misses += 1
         self._update_derived_gauges()
-        self._fetch(index, on_done, on_error, expected_leaf=expected_leaf)
+        self._fetch(
+            index, on_done, on_error, expected_leaf=expected_leaf, trace=trace
+        )
 
     def prefetch(
         self,
@@ -336,6 +348,7 @@ class WitnessClient:
         on_error: Callable[[RequestFailure], None] | None,
         *,
         expected_leaf: FieldElement | None = None,
+        trace=None,
     ) -> None:
         if self._fail_if_revoked(index, on_error):
             # Covers prefetch and refreshes racing a revocation.
@@ -379,6 +392,13 @@ class WitnessClient:
             # Simulated end-to-end acquisition time: dispatch to verified
             # delivery, failovers and retries included.
             self._m_fetch_rtt.observe(self.simulator.now - started_at)
+            if trace is not None:
+                self.disttracer.link(
+                    trace,
+                    kind="witness-fetch",
+                    start=started_at,
+                    end=self.simulator.now,
+                )
             assert isinstance(result, WitnessResponse)
             assert result.proof is not None and folded_root is not None
             if self._generation == generation:
@@ -392,7 +412,9 @@ class WitnessClient:
 
         self.dispatcher.request(
             self.providers,
-            lambda request_id: WitnessRequest(request_id=request_id, index=index),
+            lambda request_id: WitnessRequest(
+                request_id=request_id, index=index, trace=trace
+            ),
             accept=accept,
         ).subscribe(settled)
 

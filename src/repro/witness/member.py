@@ -77,16 +77,31 @@ class LightMember:
         Asynchronous end to end: with a warm cache the witness arrives
         synchronously and the message is built and published before this
         returns; a cold cache pays the fetch round trips first.
+
+        When the client's hub head-samples this publish (PR 9), the root
+        span covers witness acquisition through hand-off to ``publish``,
+        the fetch (if any) joins as a "witness-fetch" child span, and the
+        message carries the root context into the mesh.
         """
+        span = self.client.disttracer.begin_publish()
 
         def have_witness(proof: MerkleProof) -> None:
+            if span is not None:
+                span.mark("witness")
             message = self._build(payload, epoch, proof, content_topic)
+            if span is not None:
+                span.mark("proof")
+                message = message.with_trace(span.context)
             publish(message)
+            if span is not None:
+                span.finish()
             self.published += 1
             if on_published is not None:
                 on_published(message)
 
         def failed(failure: RequestFailure) -> None:
+            if span is not None:
+                span.finish()
             self.publish_failures += 1
             if on_error is not None:
                 on_error(failure)
@@ -95,7 +110,11 @@ class LightMember:
         # path for a zeroed or re-occupied slot is rejected (and failed
         # over) at the client instead of blowing up in the prover.
         self.client.witness(
-            self.index, have_witness, failed, expected_leaf=self.identity.pk
+            self.index,
+            have_witness,
+            failed,
+            expected_leaf=self.identity.pk,
+            trace=None if span is None else span.context,
         )
 
     def _build(

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from repro.crypto.field import FIELD_BYTES, FieldElement
 from repro.crypto.merkle import MerkleProof
 from repro.errors import ProtocolError
+from repro.telemetry.disttrace import SpanContext
 from repro.treesync.messages import decode_field, decode_proof, encode_proof
 
 #: Protocol channel witness and snapshot *requests* travel on.
@@ -42,24 +43,37 @@ WITNESS_REPLY_PROTOCOL = "witness-reply"
 
 @dataclass(frozen=True)
 class WitnessRequest:
-    """Ask for the authentication path of the leaf at global ``index``."""
+    """Ask for the authentication path of the leaf at global ``index``.
+
+    ``trace`` is an optional distributed-tracing span context (PR 9):
+    when a traced publish needs a witness fetch first, the request
+    carries the publish span so the server's serve span joins the same
+    propagation tree.  It rides as *trailing* bytes — an untraced
+    request encodes exactly the 16 bytes it always did, and old decoders
+    (``unpack_from``) simply ignore the extension.
+    """
 
     request_id: int
     index: int
+    trace: "SpanContext | None" = None
 
     def byte_size(self) -> int:
-        return 16
+        return 16 + (0 if self.trace is None else self.trace.byte_size())
 
     def to_bytes(self) -> bytes:
-        return struct.pack(">QQ", self.request_id, self.index)
+        head = struct.pack(">QQ", self.request_id, self.index)
+        if self.trace is None:
+            return head
+        return head + self.trace.to_bytes()
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "WitnessRequest":
         try:
             request_id, index = struct.unpack_from(">QQ", data, 0)
+            trace = SpanContext.decode(data, 16)[0] if len(data) > 16 else None
         except struct.error as exc:
             raise ProtocolError(f"malformed WitnessRequest: {exc}") from exc
-        return cls(request_id=request_id, index=index)
+        return cls(request_id=request_id, index=index, trace=trace)
 
 
 @dataclass(frozen=True)

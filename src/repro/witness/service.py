@@ -90,6 +90,9 @@ class WitnessService:
         self.validator_stats = validator_stats
         self.stats = WitnessServiceStats()
         self.telemetry = resolve_telemetry(telemetry)
+        #: Distributed tracing (PR 9): traced witness requests get a
+        #: "witness-serve" span linked into the requester's trace.
+        self.disttracer = self.telemetry.disttracer(peer_id)
         registry = self.telemetry.registry
         self._m_served = {
             kind: registry.counter("witness_served_total", peer=peer_id, kind=kind)
@@ -114,19 +117,31 @@ class WitnessService:
 
     def _on_request(self, sender: str, request: object) -> None:
         if isinstance(request, WitnessRequest):
-            self._submit(lambda: self._build_witness(request), sender)
+            self._submit(lambda: self._build_witness(request), sender, request.trace)
         elif isinstance(request, SnapshotRequest):
             self._submit(lambda: self._build_snapshot(request), sender)
 
-    def _submit(self, work: Callable[[], object], sender: str) -> None:
+    def _submit(
+        self, work: Callable[[], object], sender: str, trace=None
+    ) -> None:
         """Run the extraction through the executor's SERVICE lane.
 
         With no executor (a dedicated, non-relaying witness server) the
         work runs inline; with the pipeline's executor it queues behind
         relay verdicts, and the response is sent at (simulated) completion.
+        The serve span (traced requests only) covers arrival → response
+        dispatch, so executor queueing shows up as serve latency.
         """
+        arrival = self.disttracer.clock() if trace is not None else 0.0
 
         def deliver(response: object) -> None:
+            if trace is not None:
+                self.disttracer.link(
+                    trace,
+                    kind="witness-serve",
+                    start=arrival,
+                    end=self.disttracer.clock(),
+                )
             self.network.send(
                 self.peer_id, sender, response, protocol=WITNESS_REPLY_PROTOCOL
             )

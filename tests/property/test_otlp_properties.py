@@ -22,6 +22,7 @@ from hypothesis import strategies as st
 
 from repro.telemetry import MetricsRegistry, TelemetrySnapshot
 from repro.telemetry.collector import fold_delta
+from repro.telemetry.disttrace import SpanRecord
 from repro.telemetry.export import TelemetrySnapshot as Snapshot
 from repro.telemetry.otlp import (
     CounterDelta,
@@ -83,6 +84,25 @@ trace_records = st.builds(
         max_size=4,
     ).map(tuple),
 )
+span_records = st.builds(
+    SpanRecord,
+    trace_id=st.integers(min_value=0, max_value=2**128 - 1),
+    span_id=st.integers(min_value=0, max_value=2**64 - 1),
+    parent_id=st.integers(min_value=0, max_value=2**64 - 1),
+    seq=st.integers(min_value=0, max_value=2**50),
+    peer=label_text,
+    origin=label_text,
+    kind=st.sampled_from(
+        ("publish", "bundle", "witness-fetch", "witness-serve", "evidence")
+    ),
+    hop=st.integers(min_value=0, max_value=2**16 - 1),
+    start=finite,
+    end=finite,
+    marks=st.lists(
+        st.tuples(st.sampled_from(("ingress", "verdict", "pairing")), finite),
+        max_size=4,
+    ).map(tuple),
+)
 batches = st.builds(
     TelemetryBatch,
     peer=label_text,
@@ -95,6 +115,7 @@ batches = st.builds(
         counter_deltas | gauge_values | histogram_deltas, max_size=6
     ).map(tuple),
     traces=st.lists(trace_records, max_size=3).map(tuple),
+    spans=st.lists(span_records, max_size=3).map(tuple),
 )
 
 
@@ -107,6 +128,17 @@ def test_batch_wire_round_trip_identity(batch):
         for field in ("delta", "value", "count_delta"):
             a, b = getattr(sent, field, None), getattr(received, field, None)
             assert type(a) is type(b)
+
+
+@settings(max_examples=200)
+@given(span_records)
+def test_span_record_wire_round_trip_identity(record):
+    decoded = SpanRecord.from_bytes(record.to_bytes())
+    assert decoded == record
+    # Float timestamps must survive bit-exactly (>d is IEEE-754 binary64,
+    # the same representation Python floats use).
+    assert decoded.start == record.start and decoded.end == record.end
+    assert decoded.byte_size() == record.byte_size()
 
 
 # -- fold exactness at arbitrary cut points -----------------------------------
