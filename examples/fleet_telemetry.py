@@ -97,6 +97,59 @@ def main() -> None:
         print(f"\nfleet publish->verdict latency over {len(trees)} traces: "
               f"p50={q['p50'] * 1e3:.1f}ms p99={q['p99'] * 1e3:.1f}ms")
 
+    # 8. Close the loop: alerting and liveness (PR 10).  A fresh fleet
+    #    with ``alerting=True`` gets the built-in RLN rule pack evaluated
+    #    on the simulated clock (and exporter heartbeats, so a quiet peer
+    #    is distinguishable from a dead one).  Trigger an invalid-proof
+    #    flood, watch ``rln-spam-flood`` fire; stop a peer, watch the
+    #    liveness classifier call it silent.
+    print("\n== alerting & fleet health ==\n")
+    from repro.core.protocol import WakuMessage
+
+    watched = RLNDeployment.create(
+        peer_count=8, degree=4, seed=2,
+        config=RLNConfig(epoch_length=600.0, max_epoch_gap=2, tree_depth=8),
+        collector=CollectorOptions(
+            interval=0.5, alerting=True, evaluation_interval=0.5
+        ),
+    )
+    watched.register_all()
+    watched.form_meshes()
+    watched.run(2.0)
+
+    attacker = watched.peer("peer-000")
+    for i in range(8):
+        honest = attacker._build_message(
+            b"flood-%d" % i, "t", attacker.current_epoch()
+        )
+        forged = WakuMessage(
+            payload=honest.payload,
+            content_topic=honest.content_topic,
+            rate_limit_proof=honest.rate_limit_proof.forged_copy(),
+        )
+        attacker.relay.publish(forged)
+        watched.run(0.5)
+
+    fleet_collector = watched.collector
+    print(f"firing alerts      : {fleet_collector.firing()}")
+    for event in fleet_collector.alert_events():
+        print(f"  t={event['time']:6.2f}s  {event['alertname']:<16} "
+              f"-> {event['state']} (value {event['value']:.2f})")
+    alerts = [line for line in fleet_collector.render_prometheus().splitlines()
+              if line.startswith("ALERTS")]
+    for line in alerts:
+        print(f"  {line}")
+
+    watched.peer("peer-007").stop()     # exporter closes: heartbeat stops
+    watched.run(8.0)
+    health = fleet_collector.health_report()
+    print(f"\nfleet health score : {health['score']:.2f}  "
+          f"(counts: {health['counts']})")
+    for row in health["peers"]:
+        if row["status"] != "healthy":
+            print(f"  {row['peer']:<10} {row['status']:<8} "
+                  f"last fold {row['last_fold']:.1f}s, age {row['age']:.1f}s")
+
 
 if __name__ == "__main__":
     main()

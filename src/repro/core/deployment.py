@@ -33,6 +33,7 @@ from repro.net.topology import random_regular
 from repro.net.transport import Network
 from repro.pipeline.pipeline import PipelineConfig
 from repro.telemetry import CollectorOptions, CollectorPeer, Telemetry
+from repro.telemetry.alerts import default_rule_pack
 from repro.telemetry.exporter import TelemetryExporter
 from repro.zksnark.prover import RLNProver, shared_prover
 
@@ -161,6 +162,13 @@ class RLNDeployment:
             # never counts them as neighbors and relay behaviour stays
             # bit-identical — while the telemetry channel still rides the
             # same Network, its bytes billed and separable per protocol.
+            rules, slos = list(collector.rules), list(collector.slos)
+            if collector.alerting:
+                pack_rules, pack_slos = default_rule_pack(
+                    evaluation_interval=collector.evaluation_interval
+                )
+                rules += pack_rules
+                slos += pack_slos
             names = ["collector-0"] + (["collector-1"] if collector.backup else [])
             for name in names:
                 network.add_peer(name, [])
@@ -169,6 +177,10 @@ class RLNDeployment:
                     network,
                     simulator,
                     trace_capacity=collector.trace_capacity,
+                    rules=rules,
+                    slos=slos,
+                    evaluation_interval=collector.evaluation_interval,
+                    export_interval=collector.interval,
                 )
             for peer_id, peer in peers.items():
                 exporters[peer_id] = peer.telemetry_exporter(
@@ -181,6 +193,10 @@ class RLNDeployment:
                     rounds=collector.rounds,
                     max_traces_per_batch=collector.max_traces_per_batch,
                     max_spans_per_batch=collector.max_spans_per_batch,
+                    # Alerting turns the push stream into the liveness
+                    # heartbeat: idle ticks still send (empty) batches, so
+                    # a quiet peer is distinguishable from a dead one.
+                    heartbeat=bool(rules or slos),
                 )
         deployment = cls(
             simulator=simulator,

@@ -533,6 +533,7 @@ class WakuRLNRelayPeer:
         rounds: int = 2,
         max_traces_per_batch: int = 32,
         max_spans_per_batch: int = 64,
+        heartbeat: bool = False,
     ):
         """Run the fleet-telemetry push role: delta batches to a collector.
 
@@ -566,6 +567,7 @@ class WakuRLNRelayPeer:
                 rounds=rounds,
                 max_traces_per_batch=max_traces_per_batch,
                 max_spans_per_batch=max_spans_per_batch,
+                heartbeat=heartbeat,
             )
         return self._telemetry_exporter
 

@@ -76,6 +76,27 @@ from repro.telemetry.otlp import (
     TelemetryBatch,
 )
 from repro.telemetry.exporter import TelemetryExporter
+from repro.telemetry.alerts import (
+    AlertEvent,
+    AlertRule,
+    RuleEngine,
+    SLO,
+    default_rule_pack,
+)
+from repro.telemetry.health import HealthMonitor, PeerLiveness
+from repro.telemetry.query import (
+    ANY,
+    BadFraction,
+    Combined,
+    FleetQuerier,
+    HealthCount,
+    HealthScore,
+    Instant,
+    Quantile,
+    Rate,
+    SeriesRing,
+    select,
+)
 from repro.telemetry.collector import CollectorOptions, CollectorPeer
 
 
@@ -180,9 +201,27 @@ def resolve(telemetry: "Telemetry | NullTelemetry | None") -> "Telemetry | NullT
 
 
 __all__ = [
+    "ANY",
+    "AlertEvent",
+    "AlertRule",
+    "BadFraction",
     "CollectorOptions",
     "CollectorPeer",
+    "Combined",
     "Counter",
+    "FleetQuerier",
+    "HealthCount",
+    "HealthMonitor",
+    "HealthScore",
+    "Instant",
+    "PeerLiveness",
+    "Quantile",
+    "Rate",
+    "RuleEngine",
+    "SLO",
+    "SeriesRing",
+    "default_rule_pack",
+    "select",
     "DEFAULT_BUCKETS",
     "DEFAULT_SAMPLE_CAPACITY",
     "DistTracer",

@@ -33,13 +33,16 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable, Sequence
 
 from repro.net.simulator import Simulator
 from repro.net.transport import Network
 from repro.telemetry import tracing
+from repro.telemetry.alerts import AlertRule, RuleEngine, SLO
 from repro.telemetry.disttrace import TraceAssembler
 from repro.telemetry.export import TelemetrySnapshot, render_prometheus
+from repro.telemetry.health import HealthMonitor
+from repro.telemetry.registry import metric_key
 from repro.telemetry.otlp import (
     CounterDelta,
     ExportAck,
@@ -76,6 +79,18 @@ class CollectorOptions:
     trace_sample: float = 0.0
     #: Span bound per exported batch (cursor discipline like traces).
     max_spans_per_batch: int = 64
+    #: Alert rules / SLO burn-rate rules the collector evaluates on the
+    #: simulated clock (PR 10).  Both default empty: no rule engine is
+    #: constructed, no evaluation ticker is scheduled, and the seed
+    #: behaviour stays bit-identical.
+    rules: "tuple[AlertRule, ...]" = ()
+    slos: "tuple[SLO, ...]" = ()
+    #: Shortcut: also install the built-in RLN pack
+    #: (:func:`~repro.telemetry.alerts.default_rule_pack`) scaled to
+    #: ``evaluation_interval``, on top of any explicit rules/slos.
+    alerting: bool = False
+    #: Simulated seconds between rule-engine evaluation passes.
+    evaluation_interval: float = 0.5
 
 
 @dataclass
@@ -150,6 +165,10 @@ class CollectorPeer:
         simulator: Simulator,
         *,
         trace_capacity: int = 1024,
+        rules: Sequence[AlertRule] = (),
+        slos: Sequence[SLO] = (),
+        evaluation_interval: float = 0.5,
+        export_interval: float = 1.0,
     ) -> None:
         self.peer_id = peer_id
         self.network = network
@@ -158,6 +177,24 @@ class CollectorPeer:
         self._states: dict[str, dict[str, dict]] = {}
         self._resources: dict[str, dict[str, str]] = {}
         self._last_seq: dict[str, int] = {}
+        #: Memoized fleet merge; invalidated by every fold (satellite of
+        #: PR 10 — ``waterfall``/``render_prometheus`` used to re-merge
+        #: every peer's state on every call).
+        self._fleet_cache: TelemetrySnapshot | None = None
+        #: Liveness classification from fold metadata — always on (it is
+        #: passive bookkeeping with zero wire or scheduling cost).
+        self.health = HealthMonitor(interval=export_interval)
+        #: The rule engine + its evaluation ticker exist only when rules
+        #: were configured: a rule-less collector schedules nothing and
+        #: stays event-for-event identical to the PR 7 collector.
+        self.engine: RuleEngine | None = None
+        self._stop_evaluation: Callable[[], None] | None = None
+        if rules or slos:
+            self.engine = RuleEngine(rules, slos)
+            self.evaluation_interval = evaluation_interval
+            self._stop_evaluation = simulator.every(
+                evaluation_interval, self._evaluate
+            )
         #: Exemplar ring entries are (collector_seq, peer, record): the
         #: monotone seq lets pollers resume where they left off instead
         #: of re-reading the whole deque (see :meth:`recent_traces`).
@@ -182,11 +219,23 @@ class CollectorPeer:
             # lost or late): acknowledge again, never double-count.
             self.stats.duplicates += 1
         else:
-            if batch.seq > last + 1:
+            lost = batch.seq - last - 1
+            if lost > 0:
                 self.stats.gaps += 1
-                self.stats.lost_batches += batch.seq - last - 1
+                self.stats.lost_batches += lost
             self._fold(batch)
             self._last_seq[batch.peer] = batch.seq
+            self.health.observe(
+                batch.peer,
+                self.simulator.now,
+                lost_batches=lost,
+                reported_drops=batch.dropped_batches,
+            )
+            if self.engine is not None:
+                # One ring point per windowed series at every fold; points
+                # at the same simulated instant coalesce, so the sampled
+                # series is independent of same-time fold order.
+                self.engine.sample(self.simulator.now, self._alert_states())
         self.stats.acks_sent += 1
         self.network.send(
             self.peer_id,
@@ -197,6 +246,7 @@ class CollectorPeer:
         )
 
     def _fold(self, batch) -> None:
+        self._fleet_cache = None
         self.stats.batches += 1
         self._resources[batch.peer] = {
             "peer": batch.peer,
@@ -229,15 +279,102 @@ class CollectorPeer:
         return TelemetrySnapshot.from_collected(self._states.get(peer, {}))
 
     def fleet_snapshot(self) -> TelemetrySnapshot:
-        """Every peer's state, additively merged (PR 6 semantics)."""
-        fleet = TelemetrySnapshot({})
-        for peer in self.peers():
-            fleet = fleet.merge(self.peer_snapshot(peer))
-        return fleet
+        """Every peer's state, additively merged (PR 6 semantics).
+
+        Memoized: the merge is rebuilt only after a fold changed some
+        peer's state, so back-to-back ``waterfall``/``render_prometheus``
+        calls between folds share one snapshot.  Collector self-metrics
+        are deliberately *not* in here — the E17 exactness contract is
+        that this equals the offline merge of per-peer snapshots.
+        """
+        if self._fleet_cache is None:
+            fleet = TelemetrySnapshot({})
+            for peer in self.peers():
+                fleet = fleet.merge(self.peer_snapshot(peer))
+            self._fleet_cache = fleet
+        return self._fleet_cache
+
+    def self_metrics(self) -> dict[str, dict]:
+        """The collector's own bookkeeping as collected-shape entries.
+
+        This is what makes exporter loss *alertable* rather than merely
+        inspectable: ``CollectorStats`` re-rendered as
+        ``collector_*_total`` counters labeled with the collector's id
+        (plus the exporting peer for self-reported drops), injected into
+        the exposition and the rule-engine view — never into
+        :meth:`fleet_snapshot`.
+        """
+        base = {"collector": self.peer_id}
+        out: dict[str, dict] = {}
+
+        def counter(name: str, value: int, extra: dict[str, str] | None = None):
+            labels = dict(base)
+            if extra:
+                labels.update(extra)
+            out[metric_key(name, labels)] = {
+                "name": name,
+                "kind": "counter",
+                "labels": labels,
+                "value": value,
+            }
+
+        counter("collector_batches_total", self.stats.batches)
+        counter("collector_lost_batches_total", self.stats.lost_batches)
+        counter("collector_duplicates_total", self.stats.duplicates)
+        counter("collector_gaps_total", self.stats.gaps)
+        counter("collector_malformed_total", self.stats.malformed)
+        counter("collector_acks_sent_total", self.stats.acks_sent)
+        for peer, drops in sorted(self.stats.reported_drops.items()):
+            counter("collector_reported_drops_total", drops, {"peer": peer})
+        return out
 
     def render_prometheus(self) -> str:
-        """The whole deployment as one Prometheus text exposition."""
-        return render_prometheus(self.fleet_snapshot())
+        """The whole deployment as one Prometheus text exposition.
+
+        The fleet merge plus the collector's :meth:`self_metrics` and —
+        when a rule engine is configured — the
+        ``ALERTS{alertname,severity,alertstate}`` gauge for every
+        pending/firing alert, so alert state is itself scrapeable.
+        """
+        extra = self.self_metrics()
+        if self.engine is not None:
+            extra.update(self.engine.alerts_entries())
+        exposition = self.fleet_snapshot().merge(
+            TelemetrySnapshot.from_collected(extra)
+        )
+        return render_prometheus(exposition)
+
+    # -- alerting & liveness ---------------------------------------------------
+
+    def _alert_states(self) -> "list[dict[str, dict]]":
+        """What rules see: every peer's state plus the self-metrics."""
+        states: "list[dict[str, dict]]" = list(self._states.values())
+        states.append(self.self_metrics())
+        return states
+
+    def _evaluate(self) -> None:
+        assert self.engine is not None
+        self.engine.evaluate(
+            self.simulator.now, self._alert_states(), health=self.health
+        )
+
+    def stop_alerting(self) -> None:
+        """Cancel the evaluation ticker (lets a drained simulator idle)."""
+        if self._stop_evaluation is not None:
+            self._stop_evaluation()
+            self._stop_evaluation = None
+
+    def firing(self) -> list[str]:
+        """Names of currently firing alerts (empty without an engine)."""
+        return self.engine.firing() if self.engine is not None else []
+
+    def alert_events(self) -> list[dict]:
+        """The bounded alert-transition log as plain dicts."""
+        return self.engine.event_log() if self.engine is not None else []
+
+    def health_report(self) -> dict:
+        """Fleet liveness now: score, status counts, per-peer rows."""
+        return self.health.report(self.simulator.now)
 
     @property
     def last_trace_seq(self) -> int:
@@ -286,14 +423,17 @@ class CollectorPeer:
                 if kind == "bundle"
                 else tracing.REVOCATION_STAGE_ORDER
             )
-        stage_exemplars: dict[str, list[float]] = {}
+        # deque(maxlen=exemplars) keeps only the newest N durations in
+        # O(1) per append (the list version popped the head each time —
+        # O(n²) across a large exemplar ring).
+        stage_exemplars: dict[str, deque[float]] = {}
         if exemplars > 0:
             for _seq, _peer, record in self.recent_traces(kind, since_seq=since_seq):
                 for (_, prev_t), (stage, t) in zip(record.marks, record.marks[1:]):
-                    durations = stage_exemplars.setdefault(stage, [])
+                    durations = stage_exemplars.get(stage)
+                    if durations is None:
+                        durations = stage_exemplars[stage] = deque(maxlen=exemplars)
                     durations.append(t - prev_t)
-                    if len(durations) > exemplars:
-                        durations.pop(0)
         fleet = self.fleet_snapshot()
         rows: list[dict] = []
         for stage in stages:

@@ -68,6 +68,8 @@ class ExporterStats:
 
     ticks: int = 0
     batches_built: int = 0
+    #: Empty liveness batches (``heartbeat=True`` ticks with no deltas).
+    heartbeats: int = 0
     batches_sent: int = 0
     #: Drop-oldest sheds; mirrored as ``telemetry_dropped_batches_total``.
     batches_dropped: int = 0
@@ -111,6 +113,7 @@ class TelemetryExporter:
         rounds: int = 2,
         max_traces_per_batch: int = 32,
         max_spans_per_batch: int = 64,
+        heartbeat: bool = False,
         start: bool = True,
     ) -> None:
         if not telemetry.enabled:
@@ -134,6 +137,13 @@ class TelemetryExporter:
         self.queue_limit = queue_limit
         self.max_traces_per_batch = max_traces_per_batch
         self.max_spans_per_batch = max_spans_per_batch
+        #: With ``heartbeat=True`` an idle tick still sends an *empty*
+        #: batch (seq advancing, no deltas), so the collector's liveness
+        #: classifier (PR 10) can tell "nothing changed" from "peer is
+        #: gone" — the telemetry push doubles as the heartbeat, no
+        #: separate protocol.  Default off: idle peers stay wire-silent
+        #: and PR 7's byte accounting is unchanged.
+        self.heartbeat = heartbeat
         self.stats = ExporterStats()
         self.dispatcher = RequestDispatcher(
             peer_id,
@@ -165,7 +175,7 @@ class TelemetryExporter:
     def export(self) -> TelemetryBatch | None:
         """One tick: diff the registry, enqueue the delta, pump the queue."""
         self.stats.ticks += 1
-        batch = self._build_batch()
+        batch = self._build_batch(force=self.heartbeat)
         if batch is not None:
             self._enqueue(batch)
         self._pump()
@@ -209,14 +219,16 @@ class TelemetryExporter:
 
     # -- building --------------------------------------------------------------
 
-    def _build_batch(self) -> TelemetryBatch | None:
+    def _build_batch(self, *, force: bool = False) -> TelemetryBatch | None:
         current = self.telemetry.registry.collect()
         metrics = compute_deltas(current, self._last)
         self._last = current
         traces = self._drain_traces()
         spans = self._drain_spans()
         if not metrics and not traces and not spans:
-            return None
+            if not force:
+                return None
+            self.stats.heartbeats += 1
         batch = TelemetryBatch(
             peer=self.peer_id,
             role=self.role,

@@ -1,0 +1,216 @@
+"""Per-peer liveness from the collector's own export bookkeeping.
+
+The push pipeline (PR 7) already gives the collector everything a
+liveness system needs, for free: every folded batch carries the peer's
+id, a monotone ``seq`` (so gaps mean upstream loss), and the exporter's
+self-reported cumulative drop count — and the fold itself happens at a
+known simulated instant.  :class:`HealthMonitor` turns that metadata
+into a classification, with **no extra wire traffic** (no heartbeats —
+the telemetry push *is* the heartbeat):
+
+* ``healthy`` — folded within ``stale_after`` seconds;
+* ``stale`` — quiet for ``stale_after`` but not yet ``silent_after``;
+* ``silent`` — quiet past ``silent_after`` (crashed, stopped, or
+  partitioned: :meth:`Peer.stop` closing the exporter looks exactly
+  like this);
+* ``flapping`` — oscillating between quiet and live: at least
+  ``flap_threshold`` status transitions inside ``flap_window``.
+  Flapping overrides ``healthy``/``stale`` (a peer that *just* came
+  back but has been bouncing is not healthy) but never ``silent``.
+
+Classification is a pure function of (fold history, ``now``) on the
+simulated clock — deterministic, and independent of the order
+same-instant batches folded in.  :meth:`report` is the operator view:
+per-peer rows plus a fleet score in [0, 1].
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+HEALTHY = "healthy"
+STALE = "stale"
+SILENT = "silent"
+FLAPPING = "flapping"
+
+#: Score contribution per status; the fleet score is the mean.
+_SCORES = {HEALTHY: 1.0, STALE: 0.5, FLAPPING: 0.5, SILENT: 0.0}
+
+
+@dataclass(frozen=True)
+class PeerLiveness:
+    """One peer's row in the fleet health report."""
+
+    peer: str
+    status: str
+    last_fold: float
+    #: Seconds of simulated time since the last folded batch.
+    age: float
+    batches: int
+    #: Status transitions observed inside the flap window.
+    recent_transitions: int
+    #: Upstream loss signals: collector-observed seq gaps and the
+    #: exporter's self-reported drop-oldest count.
+    lost_batches: int
+    reported_drops: int
+
+    def to_dict(self) -> dict:
+        return {
+            "peer": self.peer,
+            "status": self.status,
+            "last_fold": self.last_fold,
+            "age": self.age,
+            "batches": self.batches,
+            "recent_transitions": self.recent_transitions,
+            "lost_batches": self.lost_batches,
+            "reported_drops": self.reported_drops,
+        }
+
+
+class _PeerState:
+    __slots__ = (
+        "last_fold",
+        "batches",
+        "lost_batches",
+        "reported_drops",
+        "base_status",
+        "transitions",
+    )
+
+    def __init__(self, now: float, transition_capacity: int) -> None:
+        self.last_fold = now
+        self.batches = 0
+        self.lost_batches = 0
+        self.reported_drops = 0
+        self.base_status = HEALTHY
+        #: Simulated times of base-status transitions (bounded ring).
+        self.transitions: deque[float] = deque(maxlen=transition_capacity)
+
+
+class HealthMonitor:
+    """Classify every exporting peer from fold metadata alone."""
+
+    def __init__(
+        self,
+        *,
+        interval: float = 1.0,
+        stale_after: float | None = None,
+        silent_after: float | None = None,
+        flap_threshold: int = 4,
+        flap_window: float | None = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self.stale_after = 3 * interval if stale_after is None else stale_after
+        self.silent_after = 10 * interval if silent_after is None else silent_after
+        if not 0 < self.stale_after < self.silent_after:
+            raise ValueError("need 0 < stale_after < silent_after")
+        if flap_threshold < 2:
+            raise ValueError("flap_threshold must be >= 2")
+        self.flap_threshold = flap_threshold
+        self.flap_window = 60 * interval if flap_window is None else flap_window
+        self._peers: dict[str, _PeerState] = {}
+
+    # -- feeding ------------------------------------------------------------
+
+    def observe(
+        self,
+        peer: str,
+        now: float,
+        *,
+        lost_batches: int = 0,
+        reported_drops: int = 0,
+    ) -> None:
+        """One folded batch from ``peer`` at simulated time ``now``.
+
+        A return from quiet (the peer had already aged into
+        stale/silent) is a status transition and feeds flap detection.
+        """
+        state = self._peers.get(peer)
+        if state is None:
+            state = self._peers[peer] = _PeerState(now, 4 * self.flap_threshold)
+        else:
+            # Age the base status *before* this fold so going quiet and
+            # coming back counts as two transitions, not zero.
+            self._age(state, now)
+            if state.base_status != HEALTHY:
+                state.base_status = HEALTHY
+                state.transitions.append(now)
+        state.last_fold = now
+        state.batches += 1
+        state.lost_batches += lost_batches
+        state.reported_drops = reported_drops
+
+    def _age(self, state: _PeerState, now: float) -> None:
+        """Advance the stored base status to match the fold age."""
+        age = now - state.last_fold
+        if age >= self.silent_after:
+            aged = SILENT
+        elif age >= self.stale_after:
+            aged = STALE
+        else:
+            aged = HEALTHY
+        if aged != state.base_status:
+            state.base_status = aged
+            state.transitions.append(now)
+
+    # -- classification -----------------------------------------------------
+
+    def _recent_transitions(self, state: _PeerState, now: float) -> int:
+        cutoff = now - self.flap_window
+        return sum(1 for t in state.transitions if t >= cutoff)
+
+    def classify(self, peer: str, now: float) -> str:
+        state = self._peers[peer]
+        self._age(state, now)
+        if state.base_status == SILENT:
+            return SILENT
+        if self._recent_transitions(state, now) >= self.flap_threshold:
+            return FLAPPING
+        return state.base_status
+
+    def peers(self) -> list[str]:
+        return sorted(self._peers)
+
+    def liveness(self, peer: str, now: float) -> PeerLiveness:
+        status = self.classify(peer, now)
+        state = self._peers[peer]
+        return PeerLiveness(
+            peer=peer,
+            status=status,
+            last_fold=state.last_fold,
+            age=now - state.last_fold,
+            batches=state.batches,
+            recent_transitions=self._recent_transitions(state, now),
+            lost_batches=state.lost_batches,
+            reported_drops=state.reported_drops,
+        )
+
+    def counts(self, now: float) -> dict[str, int]:
+        """``{status: peer count}`` over every known peer."""
+        out: dict[str, int] = {}
+        for peer in self._peers:
+            status = self.classify(peer, now)
+            out[status] = out.get(status, 0) + 1
+        return out
+
+    def score(self, now: float) -> float:
+        """Fleet liveness in [0, 1]; 1.0 when no peer has exported yet."""
+        if not self._peers:
+            return 1.0
+        total = sum(
+            _SCORES[self.classify(peer, now)] for peer in self._peers
+        )
+        return total / len(self._peers)
+
+    def report(self, now: float) -> dict:
+        """The operator view: score, status counts, per-peer rows."""
+        rows = [self.liveness(peer, now) for peer in self.peers()]
+        return {
+            "time": now,
+            "score": self.score(now),
+            "counts": self.counts(now),
+            "peers": [row.to_dict() for row in rows],
+        }

@@ -1,0 +1,519 @@
+"""Instant queries over collected telemetry state: the read half of alerting.
+
+The collector reconstructs every peer's registry exactly (PR 7) — but a
+rule like *"the fleet-wide invalid-proof rate exceeded 1/s for two
+evaluation intervals"* needs more than reconstructed state: it needs
+**selection** (which series), **aggregation** (how the per-peer series
+combine) and **windows** (how the value moved over simulated time).
+This module is that query layer, deliberately tiny and deterministic:
+
+* :func:`select` — label-matcher selection over one or many
+  ``collect()``-shaped mappings (the collector's per-peer states are
+  queried *without* materializing a fleet merge: summing entries across
+  states is the merge, for every aggregation this module offers);
+* :class:`Instant` / :class:`Quantile` / :class:`Combined` — pure
+  functions of the current state (sum/max/min/avg/count by selector,
+  bucket-estimate quantiles over merged histograms);
+* :class:`Rate` / :class:`BadFraction` — windowed expressions over a
+  bounded :class:`SeriesRing` of ``(sim_time, value)`` points the
+  :class:`FleetQuerier` samples at every collector fold.  Points at the
+  same simulated instant **coalesce** (last write wins), which is what
+  makes evaluation independent of the order same-time batches folded in
+  — the property suite pins this;
+* :class:`HealthCount` / :class:`HealthScore` — bridges into the
+  liveness classifier (:mod:`repro.telemetry.health`), so "a peer went
+  silent" is an alert expression like any other.
+
+Everything evaluates on the *simulated* clock and touches no RNG: two
+runs folding the same batches at the same times produce bit-identical
+query results, which is what lets E20 assert exact detection latencies.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
+
+from repro.telemetry.export import _bucket_quantile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.health import HealthMonitor
+
+#: A ``collect()``-shaped mapping (metric key -> entry dict): the shape
+#: shared by live registries, collector per-peer states and snapshots.
+CollectedState = Mapping[str, dict]
+
+
+class _Any:
+    """Sentinel matcher: the label must be present, any value."""
+
+    def __repr__(self) -> str:  # pragma: no cover - repr only
+        return "ANY"
+
+
+ANY = _Any()
+
+
+def _matches(entry: dict, name: str, matchers: "tuple[tuple[str, object], ...]") -> bool:
+    if entry["name"] != name:
+        return False
+    labels = entry["labels"]
+    for key, want in matchers:
+        have = labels.get(key)
+        if have is None:
+            return False
+        if want is not ANY and have != want:
+            return False
+    return True
+
+
+def _freeze(matchers: Mapping[str, object]) -> "tuple[tuple[str, object], ...]":
+    return tuple(sorted(matchers.items(), key=lambda item: item[0]))
+
+
+def select(
+    states: "CollectedState | Iterable[CollectedState]",
+    name: str,
+    **matchers: object,
+) -> list[dict]:
+    """Every entry matching ``name`` + label matchers, across all states.
+
+    ``states`` is one collected-shape mapping or an iterable of them
+    (the collector's per-peer states).  Duplicate keys across states are
+    *not* merged — they all appear, which is exactly what additive
+    aggregation wants.
+    """
+    if isinstance(states, Mapping):
+        states = (states,)
+    frozen = _freeze(matchers)
+    out: list[dict] = []
+    for state in states:
+        for entry in state.values():
+            if _matches(entry, name, frozen):
+                out.append(entry)
+    return out
+
+
+# -- scalar aggregation over selections ---------------------------------------
+
+
+def _scalar(entry: dict, field_name: str) -> float:
+    """One entry's scalar: ``value`` for counters/gauges, any summary
+    field (``count``/``sum``/``min``/``max``) for histograms."""
+    if field_name == "value" and entry["kind"] == "histogram":
+        raise ValueError(
+            f"histogram {entry['name']!r} has no 'value'; ask for "
+            "field='count', 'sum', 'min' or 'max'"
+        )
+    return entry[field_name]
+
+
+def aggregate(
+    entries: Sequence[dict],
+    agg: str = "sum",
+    *,
+    field_name: str = "value",
+    default: float = 0.0,
+) -> float:
+    """Fold a selection to one number; ``default`` when nothing matched."""
+    if agg not in ("sum", "max", "min", "avg", "count"):
+        raise ValueError(f"unknown aggregation {agg!r}")
+    if not entries:
+        return default
+    values = [_scalar(entry, field_name) for entry in entries]
+    if agg == "sum":
+        return sum(values)
+    if agg == "max":
+        return max(values)
+    if agg == "min":
+        return min(values)
+    if agg == "avg":
+        return sum(values) / len(values)
+    return float(len(values))
+
+
+def sum_by(entries: Sequence[dict], label: str) -> dict[str, float]:
+    """Group a counter/gauge selection by one label and sum each group."""
+    out: dict[str, float] = {}
+    for entry in entries:
+        key = entry["labels"].get(label, "")
+        out[key] = out.get(key, 0.0) + _scalar(entry, "value")
+    return out
+
+
+def merge_histograms(entries: Sequence[dict]) -> dict | None:
+    """Additively merge matching histogram entries (bounds must agree)."""
+    merged: dict | None = None
+    for entry in entries:
+        if entry["kind"] != "histogram":
+            raise ValueError(f"{entry['name']!r} is a {entry['kind']}, not a histogram")
+        if merged is None:
+            merged = {
+                "le": list(entry["le"]),
+                "buckets": list(entry["buckets"]),
+                "count": entry["count"],
+                "sum": entry["sum"],
+                "min": entry["min"],
+                "max": entry["max"],
+            }
+            continue
+        if merged["le"] != list(entry["le"]):
+            raise ValueError("cannot merge histograms with different bounds")
+        merged["buckets"] = [a + b for a, b in zip(merged["buckets"], entry["buckets"])]
+        merged["count"] += entry["count"]
+        merged["sum"] += entry["sum"]
+        merged["max"] = max(merged["max"], entry["max"])
+        merged["min"] = (
+            min(merged["min"], entry["min"]) if merged["count"] else entry["min"]
+        )
+    return merged
+
+
+def count_over(entries: Sequence[dict], objective: float) -> tuple[float, float]:
+    """``(bad, total)`` observation counts: *bad* is everything recorded
+    above ``objective`` seconds, conservatively bucket-quantised (an
+    observation in a bucket whose upper bound exceeds the objective
+    counts as bad)."""
+    bad = 0.0
+    total = 0.0
+    for entry in entries:
+        bounds = list(entry["le"])
+        good_buckets = bisect_right(bounds, objective)
+        good = sum(entry["buckets"][:good_buckets])
+        total += entry["count"]
+        bad += entry["count"] - good
+    return bad, total
+
+
+# -- windowed series ----------------------------------------------------------
+
+
+class SeriesRing:
+    """A bounded ring of ``(sim_time, value)`` points for one series.
+
+    Points at the same simulated instant **replace** the previous one —
+    within one instant the cumulative value after all folds is
+    order-independent, so coalescing makes every windowed read
+    order-independent too.
+    """
+
+    __slots__ = ("points",)
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 2:
+            raise ValueError("ring capacity must be >= 2")
+        self.points: deque[tuple[float, float]] = deque(maxlen=capacity)
+
+    def note(self, time: float, value: float) -> None:
+        if self.points and self.points[-1][0] == time:
+            self.points[-1] = (time, value)
+        else:
+            self.points.append((time, value))
+
+    def _window(self, window: float, now: float) -> list[tuple[float, float]]:
+        cutoff = now - window
+        return [p for p in self.points if p[0] >= cutoff]
+
+    def delta(self, window: float, now: float) -> float:
+        """Increase over the window (clamped at 0 for monotone series)."""
+        points = self._window(window, now)
+        if len(points) < 2:
+            return 0.0
+        return max(0.0, points[-1][1] - points[0][1])
+
+    def rate(self, window: float, now: float) -> float:
+        """Per-second increase over the window's observed span."""
+        points = self._window(window, now)
+        if len(points) < 2:
+            return 0.0
+        elapsed = points[-1][0] - points[0][0]
+        if elapsed <= 0:
+            return 0.0
+        return max(0.0, points[-1][1] - points[0][1]) / elapsed
+
+    @property
+    def latest(self) -> tuple[float, float] | None:
+        return self.points[-1] if self.points else None
+
+
+# -- the expression vocabulary ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetView:
+    """Everything one evaluation pass reads: state, rings, health, now."""
+
+    now: float
+    states: tuple[CollectedState, ...]
+    rings: Mapping[str, SeriesRing] = field(default_factory=dict)
+    health: "HealthMonitor | None" = None
+
+
+class Expr:
+    """One alert expression; ``instant(view)`` yields its current value."""
+
+    #: Stable identity — ring keys, dedup, and reprs all derive from it.
+    key: str
+
+    def instant(self, view: FleetView) -> float:
+        raise NotImplementedError
+
+    def over_states(self, states: tuple[CollectedState, ...]) -> float:
+        """Pure-state evaluation (no rings) — what ring samplers call.
+
+        Windowed expressions cannot provide it; wrapping one in another
+        windowed expression is a configuration error caught here.
+        """
+        raise TypeError(f"{type(self).__name__} is windowed; it cannot be sampled")
+
+    def register(self, querier: "FleetQuerier") -> None:
+        """Install whatever rings/samplers this expression needs."""
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - repr only
+        return self.key
+
+
+class Instant(Expr):
+    """``agg(name{matchers})`` over the current state — sum by default."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        agg: str = "sum",
+        field: str = "value",
+        default: float = 0.0,
+        **matchers: object,
+    ) -> None:
+        aggregate((), agg)  # validate eagerly
+        self.name = name
+        self.agg = agg
+        self.field = field
+        self.default = default
+        self.matchers = _freeze(matchers)
+        inner = ",".join(f"{k}={v}" for k, v in self.matchers)
+        self.key = f"{agg}({name}{{{inner}}}.{field})"
+
+    def over_states(self, states: tuple[CollectedState, ...]) -> float:
+        entries = []
+        for state in states:
+            for entry in state.values():
+                if _matches(entry, self.name, self.matchers):
+                    entries.append(entry)
+        return aggregate(
+            entries, self.agg, field_name=self.field, default=self.default
+        )
+
+    def instant(self, view: FleetView) -> float:
+        return self.over_states(view.states)
+
+
+class Combined(Expr):
+    """The sum of several pure expressions (e.g. two loss counters)."""
+
+    def __init__(self, exprs: Sequence[Expr]) -> None:
+        if not exprs:
+            raise ValueError("Combined needs at least one expression")
+        self.exprs = tuple(exprs)
+        self.key = "sum(" + "+".join(expr.key for expr in self.exprs) + ")"
+
+    def over_states(self, states: tuple[CollectedState, ...]) -> float:
+        return sum(expr.over_states(states) for expr in self.exprs)
+
+    def instant(self, view: FleetView) -> float:
+        return sum(expr.instant(view) for expr in self.exprs)
+
+    def register(self, querier: "FleetQuerier") -> None:
+        for expr in self.exprs:
+            expr.register(querier)
+
+
+class Quantile(Expr):
+    """Bucket-estimate quantile over the merged selected histograms."""
+
+    def __init__(self, name: str, q: float, **matchers: object) -> None:
+        if not 0.0 < q <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        self.name = name
+        self.q = q
+        self.matchers = _freeze(matchers)
+        inner = ",".join(f"{k}={v}" for k, v in self.matchers)
+        self.key = f"quantile({q},{name}{{{inner}}})"
+
+    def over_states(self, states: tuple[CollectedState, ...]) -> float:
+        merged = merge_histograms(select_many(states, self.name, self.matchers))
+        if merged is None or merged["count"] == 0:
+            return 0.0
+        return _bucket_quantile(
+            merged["le"], merged["buckets"], merged["count"], self.q
+        )
+
+    def instant(self, view: FleetView) -> float:
+        return self.over_states(view.states)
+
+
+class Rate(Expr):
+    """``rate(source[window])``: per-second increase of a sampled series.
+
+    The source must be a pure expression (:class:`Instant` /
+    :class:`Combined`); its value is sampled into a :class:`SeriesRing`
+    at every collector fold, and the rate reads the ring.
+    """
+
+    def __init__(self, source: Expr, window: float) -> None:
+        if window <= 0:
+            raise ValueError("rate window must be positive")
+        self.source = source
+        self.window = window
+        self.key = f"rate({source.key},{window:g}s)"
+
+    def register(self, querier: "FleetQuerier") -> None:
+        querier.add_sampler(self.source.key, self.source.over_states)
+
+    def instant(self, view: FleetView) -> float:
+        ring = view.rings.get(self.source.key)
+        if ring is None:
+            return 0.0
+        return ring.rate(self.window, view.now)
+
+
+class BadFraction(Expr):
+    """Fraction of histogram observations above ``objective`` in a window.
+
+    The SLO burn-rate primitive: two rings (bad count, total count) are
+    sampled at every fold from the merged selected histograms; the
+    instant value is ``Δbad / Δtotal`` over the window — 0.0 with no
+    traffic, so an idle fleet never burns budget.
+    """
+
+    def __init__(
+        self, name: str, objective: float, window: float, **matchers: object
+    ) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.name = name
+        self.objective = objective
+        self.window = window
+        self.matchers = _freeze(matchers)
+        inner = ",".join(f"{k}={v}" for k, v in self.matchers)
+        selector = f"{name}{{{inner}}}"
+        self.key = f"bad_fraction({selector}>{objective:g},{window:g}s)"
+        self._bad_key = f"{selector}#bad>{objective:g}"
+        self._total_key = f"{selector}#count"
+
+    def _counts(self, states: tuple[CollectedState, ...]) -> tuple[float, float]:
+        return count_over(select_many(states, self.name, self.matchers), self.objective)
+
+    def register(self, querier: "FleetQuerier") -> None:
+        querier.add_sampler(self._bad_key, lambda states: self._counts(states)[0])
+        querier.add_sampler(self._total_key, lambda states: self._counts(states)[1])
+
+    def instant(self, view: FleetView) -> float:
+        bad_ring = view.rings.get(self._bad_key)
+        total_ring = view.rings.get(self._total_key)
+        if bad_ring is None or total_ring is None:
+            return 0.0
+        total = total_ring.delta(self.window, view.now)
+        if total <= 0:
+            return 0.0
+        return min(1.0, bad_ring.delta(self.window, view.now) / total)
+
+
+class HealthCount(Expr):
+    """How many peers the liveness classifier puts in ``status`` now."""
+
+    def __init__(self, status: str) -> None:
+        self.status = status
+        self.key = f"health_count({status})"
+
+    def instant(self, view: FleetView) -> float:
+        if view.health is None:
+            return 0.0
+        return float(view.health.counts(view.now).get(self.status, 0))
+
+
+class HealthScore(Expr):
+    """The fleet liveness score in [0, 1] (1.0 with no peers known)."""
+
+    key = "health_score()"
+
+    def instant(self, view: FleetView) -> float:
+        if view.health is None:
+            return 1.0
+        return view.health.score(view.now)
+
+
+def select_many(
+    states: tuple[CollectedState, ...],
+    name: str,
+    matchers: "tuple[tuple[str, object], ...]",
+) -> list[dict]:
+    """Pre-frozen-matcher :func:`select` (the expression hot path)."""
+    out: list[dict] = []
+    for state in states:
+        for entry in state.values():
+            if _matches(entry, name, matchers):
+                out.append(entry)
+    return out
+
+
+# -- the querier --------------------------------------------------------------
+
+
+class FleetQuerier:
+    """Rings + samplers for every registered windowed expression.
+
+    The owner (the rule engine, via the collector) calls
+    :meth:`sample` at each fold and :meth:`view` at each evaluation;
+    samplers are interned by series key, so two rules watching the same
+    series share one ring.
+    """
+
+    def __init__(self, *, ring_capacity: int = 512) -> None:
+        self.ring_capacity = ring_capacity
+        self._rings: dict[str, SeriesRing] = {}
+        self._samplers: dict[str, Callable[[tuple[CollectedState, ...]], float]] = {}
+
+    def register(self, expr: Expr) -> None:
+        expr.register(self)
+
+    def add_sampler(
+        self, key: str, fn: Callable[[tuple[CollectedState, ...]], float]
+    ) -> None:
+        if key in self._samplers:
+            return
+        self._samplers[key] = fn
+        self._rings[key] = SeriesRing(self.ring_capacity)
+
+    def sample(
+        self, now: float, states: "CollectedState | Iterable[CollectedState]"
+    ) -> None:
+        """One ``(sim_time, value)`` point per registered series."""
+        states = _as_states(states)
+        for key, sampler in self._samplers.items():
+            self._rings[key].note(now, sampler(states))
+
+    def ring(self, key: str) -> SeriesRing | None:
+        return self._rings.get(key)
+
+    def view(
+        self,
+        now: float,
+        states: "CollectedState | Iterable[CollectedState]",
+        *,
+        health: "HealthMonitor | None" = None,
+    ) -> FleetView:
+        return FleetView(
+            now=now, states=_as_states(states), rings=self._rings, health=health
+        )
+
+
+def _as_states(
+    states: "CollectedState | Iterable[CollectedState]",
+) -> tuple[CollectedState, ...]:
+    if isinstance(states, Mapping):
+        return (states,)
+    return tuple(states)

@@ -1,0 +1,125 @@
+"""Unit tests for the liveness classifier (repro.telemetry.health).
+
+Classification is a pure function of (fold history, now) on the
+simulated clock: healthy under ``stale_after``, stale under
+``silent_after``, silent past it; flapping overrides healthy/stale (but
+never silent) when a peer's status bounced ``flap_threshold`` times
+inside ``flap_window``; the fleet score averages 1.0 / 0.5 / 0.0.
+"""
+
+import pytest
+
+from repro.telemetry.health import (
+    FLAPPING,
+    HEALTHY,
+    HealthMonitor,
+    SILENT,
+    STALE,
+)
+
+
+def monitor(**kw):
+    # interval 1.0 → stale at 3 s, silent at 10 s, flap window 60 s
+    return HealthMonitor(interval=1.0, **kw)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        HealthMonitor(interval=0.0)
+    with pytest.raises(ValueError):
+        HealthMonitor(interval=1.0, stale_after=5.0, silent_after=5.0)
+    with pytest.raises(ValueError):
+        HealthMonitor(interval=1.0, flap_threshold=1)
+
+
+def test_aging_classification():
+    m = monitor()
+    m.observe("p", 0.0)
+    assert m.classify("p", 1.0) == HEALTHY
+    assert m.classify("p", 3.0) == STALE
+    assert m.classify("p", 9.9) == STALE
+    assert m.classify("p", 10.0) == SILENT
+
+
+def test_fold_restores_health():
+    m = monitor()
+    m.observe("p", 0.0)
+    assert m.classify("p", 5.0) == STALE
+    m.observe("p", 5.0)
+    assert m.classify("p", 5.0) == HEALTHY
+
+
+def test_flapping_detected_and_overrides_stale():
+    m = monitor()
+    m.observe("p", 0.0)
+    # four quiet→return cycles: 8 transitions inside the window (each
+    # classify ages → one transition, each observe returns → another)
+    assert m.classify("p", 4.0) == STALE  # not yet flapping
+    for start in (0.0, 10.0, 20.0, 30.0):
+        m.classify("p", start + 4.0)
+        m.observe("p", start + 4.5)
+    assert m.classify("p", 35.0) == FLAPPING
+    # flapping shows even while currently quiet-but-not-silent
+    assert m.classify("p", 38.0) == FLAPPING
+
+
+def test_flapping_never_overrides_silent():
+    m = monitor(flap_threshold=2)
+    m.observe("p", 0.0)
+    m.classify("p", 5.0)
+    m.observe("p", 5.0)
+    m.classify("p", 10.0)
+    assert m.classify("p", 30.0) == SILENT
+
+
+def test_flap_window_expires():
+    m = monitor(flap_window=20.0, flap_threshold=4)
+    m.observe("p", 0.0)
+    for start in (0.0, 10.0):
+        m.classify("p", start + 4.0)
+        m.observe("p", start + 4.5)
+    assert m.classify("p", 15.0) == FLAPPING
+    # 25 s later the transitions age out of the window; recent folds keep
+    # the peer healthy again
+    m.observe("p", 38.0)
+    m.observe("p", 39.0)
+    assert m.classify("p", 39.5) == HEALTHY
+
+
+def test_score_and_counts():
+    m = monitor()
+    m.observe("a", 0.0)
+    m.observe("b", 0.0)
+    m.observe("c", 0.0)
+    m.observe("a", 29.0)  # a healthy; b, c silent at t=30
+    assert m.counts(30.0) == {HEALTHY: 1, SILENT: 2}
+    assert m.score(30.0) == pytest.approx(1.0 / 3)
+
+
+def test_score_empty_fleet_is_one():
+    assert monitor().score(100.0) == 1.0
+
+
+def test_report_rows():
+    m = monitor()
+    m.observe("a", 0.0, lost_batches=2, reported_drops=1)
+    m.observe("a", 1.0)
+    report = m.report(2.0)
+    assert report["score"] == 1.0
+    (row,) = report["peers"]
+    assert row["peer"] == "a"
+    assert row["status"] == HEALTHY
+    assert row["batches"] == 2
+    assert row["age"] == 1.0
+    assert row["lost_batches"] == 2
+    # reported_drops is the exporter's cumulative counter: replaced, not
+    # summed (the second observe carried the default 0)
+    assert row["reported_drops"] == 0
+
+
+def test_liveness_age_and_last_fold():
+    m = monitor()
+    m.observe("a", 3.0)
+    row = m.liveness("a", 7.0)
+    assert row.last_fold == 3.0
+    assert row.age == 4.0
